@@ -1,0 +1,166 @@
+//! Unscheduled flooding: the broadcast-storm reference.
+//!
+//! Every informed node relays exactly once, at its first sending
+//! opportunity after receiving, with no interference coordination at all.
+//! Concurrent transmissions collide at common uninformed neighbors
+//! (\[17\]); a collided node simply fails to receive and must hope for a
+//! later, cleaner transmission. Coverage is therefore not guaranteed —
+//! this returns a [`FloodOutcome`] instead of a verifiable schedule.
+
+use wsn_bitset::NodeSet;
+use wsn_dutycycle::{Slot, WakeSchedule};
+use wsn_interference::resolve_receptions;
+use wsn_topology::{NodeId, Topology};
+
+/// Result of a flooding run.
+#[derive(Clone, Debug)]
+pub struct FloodOutcome {
+    /// Nodes that received the message.
+    pub covered: NodeSet,
+    /// Slot of the last successful reception (`None` when only the source
+    /// ever held the message).
+    pub completion_slot: Option<Slot>,
+    /// Total transmissions.
+    pub transmissions: usize,
+    /// Number of (node, slot) reception failures due to collisions.
+    pub collisions: usize,
+}
+
+impl FloodOutcome {
+    /// Fraction of nodes covered.
+    pub fn coverage(&self, n: usize) -> f64 {
+        self.covered.len() as f64 / n as f64
+    }
+}
+
+/// Simulates send-once flooding from `source`. Every node transmits at its
+/// first sending slot after receiving; all transmissions of a slot are
+/// concurrent and collide per the protocol model.
+///
+/// `horizon` caps the simulated slots (a safety net; flooding terminates
+/// naturally once every informed node has transmitted).
+pub fn flood_once<S: WakeSchedule>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    start_from: Slot,
+    horizon: Slot,
+) -> FloodOutcome {
+    let n = topo.len();
+    let mut informed = NodeSet::new(n);
+    informed.insert(source.idx());
+    let mut has_sent = NodeSet::new(n);
+    let mut transmissions = 0;
+    let mut collisions = 0;
+    let mut completion_slot = None;
+
+    let t_s = wake.next_send(source.idx(), start_from);
+    let mut t = t_s;
+    while t < t_s + horizon {
+        // Everyone informed, not yet sent, and awake transmits now.
+        let mut senders = NodeSet::new(n);
+        for u in informed.iter() {
+            if !has_sent.contains(u) && wake.can_send(u, t) {
+                senders.insert(u);
+            }
+        }
+        if senders.is_empty() {
+            // Jump to the next wake-up among pending relays; stop when none
+            // remain.
+            let next = informed
+                .iter()
+                .filter(|&u| !has_sent.contains(u))
+                .map(|u| wake.next_send(u, t + 1))
+                .min();
+            match next {
+                Some(tn) => {
+                    t = tn;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        transmissions += senders.len();
+        has_sent.union_with(&senders);
+        let uninformed = informed.complement();
+        let outcome = resolve_receptions(topo, &senders, &uninformed);
+        collisions += outcome.collided.len();
+        if !outcome.received.is_empty() {
+            completion_slot = Some(t);
+        }
+        informed.union_with(&outcome.received);
+        t += 1;
+    }
+
+    FloodOutcome {
+        covered: informed,
+        completion_slot,
+        transmissions,
+        collisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_dutycycle::{AlwaysAwake, WindowedRandom};
+    use wsn_topology::{deploy, fixtures};
+
+    #[test]
+    fn flooding_a_path_succeeds() {
+        // On a path there are never two concurrent senders with a common
+        // uninformed neighbor… except siblings; a 1-D path floods cleanly.
+        let topo = wsn_topology::Topology::unit_disk(
+            (0..6).map(|i| wsn_geom::Point::new(i as f64, 0.0)).collect(),
+            1.0,
+        );
+        let out = flood_once(&topo, NodeId(0), &AlwaysAwake, 1, 100);
+        assert!(out.covered.is_full());
+        assert_eq!(out.collisions, 0);
+        assert_eq!(out.completion_slot, Some(5));
+    }
+
+    #[test]
+    fn storm_collides_on_fig2a() {
+        // Figure 2(a): nodes "2" and "3" receive together and both relay in
+        // the next slot → their transmissions collide at "4".
+        let f = fixtures::fig2a();
+        let out = flood_once(&f.topo, f.source, &AlwaysAwake, 1, 100);
+        assert!(out.collisions > 0, "expected the storm collision at node 4");
+        // "4" never receives: both of its neighbors transmitted (once)
+        // simultaneously — coverage is incomplete.
+        assert!(!out.covered.contains(f.id("4").idx()));
+    }
+
+    #[test]
+    fn dense_deployments_lose_coverage() {
+        let (topo, src) = deploy::SyntheticDeployment::paper(200).sample(11);
+        let out = flood_once(&topo, src, &AlwaysAwake, 1, 1000);
+        assert!(
+            out.coverage(topo.len()) < 1.0,
+            "dense synchronous flooding should storm"
+        );
+        assert!(out.collisions > 0);
+    }
+
+    #[test]
+    fn duty_cycle_desynchronizes_the_storm() {
+        // Staggered wake-ups act as a natural collision-avoidance jitter,
+        // so duty-cycled flooding covers more than synchronous flooding on
+        // the same dense instance.
+        let (topo, src) = deploy::SyntheticDeployment::paper(200).sample(11);
+        let sync = flood_once(&topo, src, &AlwaysAwake, 1, 2000);
+        let wake = WindowedRandom::new(topo.len(), 10, 99);
+        let duty = flood_once(&topo, src, &wake, 1, 5000);
+        assert!(duty.coverage(topo.len()) >= sync.coverage(topo.len()));
+    }
+
+    #[test]
+    fn horizon_zero_means_no_activity() {
+        let f = fixtures::fig2a();
+        let out = flood_once(&f.topo, f.source, &AlwaysAwake, 1, 0);
+        assert_eq!(out.transmissions, 0);
+        assert_eq!(out.covered.len(), 1);
+        assert_eq!(out.completion_slot, None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Baseline broadcast schedulers: the hop-distance (BFS-layered) schemes
+//! the paper compares against.
+//!
+//! The defining property of all prior conflict-aware schemes (§I, §VI) is
+//! the **layer barrier**: relays are scheduled per BFS layer, and "all
+//! relays in a 1-hop propagation \[must\] finish before the next round of
+//! neighbor coloring", blocking interference-free relays from already
+//! informed nodes. This crate implements the two baselines the evaluation
+//! uses, plus extensions:
+//!
+//! * [`schedule_26_approx`] — the synchronous 26-approximation of Chen et
+//!   al. \[2\] as §V-A simulates it: BFS + greedy coloring per layer +
+//!   layer barrier;
+//! * [`schedule_17_approx`] — the duty-cycle 17-approximation of Jiao et
+//!   al. \[12\]: the same layer discipline where a relay additionally waits
+//!   for its own sending slot (backed-off colors re-initiate after their
+//!   next wake-up, a `1 ≤ k ≤ 2r` slot wait);
+//! * [`schedule_cds_layered`] — a connected-dominating-set variant in the
+//!   style of Gandhi et al. \[4\]: only CDS members relay, still layered
+//!   (extension; not plotted by the paper but useful for ablations);
+//! * [`flood_once`] — unscheduled flooding with receiver-side collisions,
+//!   the broadcast-storm reference \[17\] (returns per-run outcomes rather
+//!   than a verifiable schedule, since collisions can leave nodes
+//!   uncovered).
+
+mod cds;
+mod flood;
+mod layered;
+
+pub use cds::{greedy_connected_dominating_set, schedule_cds_layered};
+pub use flood::{flood_once, FloodOutcome};
+pub use layered::{schedule_17_approx, schedule_26_approx, schedule_layered, LayeredMode};

@@ -1,0 +1,97 @@
+//! Substrate micro-benchmarks: the building blocks every scheduler leans
+//! on. Useful for spotting regressions in the hot paths (UDG construction,
+//! neighbor bitsets, conflict graphs, coloring, E-model construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_bitset::NodeSet;
+use wsn_coloring::{eligible_senders, greedy_coloring, maximal_conflict_free_sets};
+use wsn_dutycycle::{AlwaysAwake, WakeSchedule, WindowedRandom};
+use wsn_interference::ConflictGraph;
+use wsn_topology::deploy::SyntheticDeployment;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    for nodes in [100usize, 300] {
+        let (topo, _) = SyntheticDeployment::paper(nodes).sample(1);
+        let positions = topo.positions().to_vec();
+        group.bench_with_input(BenchmarkId::new("udg_build", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                wsn_topology::Topology::unit_disk(black_box(positions.clone()), 10.0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("edge_nodes", nodes), &nodes, |b, _| {
+            b.iter(|| wsn_topology::boundary::edge_nodes(black_box(&topo)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    let (topo, src) = SyntheticDeployment::paper(300).sample(2);
+    // A mid-broadcast informed set: everything within 2 hops of the source.
+    let hops = wsn_topology::metrics::bfs_hops(&topo, src);
+    let informed =
+        NodeSet::from_indices(topo.len(), (0..topo.len()).filter(|&u| hops[u] <= 2));
+    let candidates = eligible_senders(&topo, &informed);
+    group.bench_function("greedy_coloring/300", |b| {
+        b.iter(|| greedy_coloring(black_box(&topo), black_box(&informed)))
+    });
+    group.bench_function("conflict_graph/300", |b| {
+        b.iter(|| {
+            ConflictGraph::build(
+                black_box(&topo),
+                black_box(&candidates),
+                &informed.complement(),
+            )
+        })
+    });
+    let cg = ConflictGraph::build(&topo, &candidates, &informed.complement());
+    group.bench_function("maximal_sets_cap64/300", |b| {
+        b.iter(|| maximal_conflict_free_sets(black_box(&cg), 64))
+    });
+    group.finish();
+}
+
+fn bench_emodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emodel");
+    for nodes in [100usize, 300] {
+        let (topo, _) = SyntheticDeployment::paper(nodes).sample(3);
+        group.bench_with_input(BenchmarkId::new("build_sync", nodes), &nodes, |b, _| {
+            b.iter(|| mlbs_core::EModel::build(black_box(&topo), &AlwaysAwake))
+        });
+        let wake = WindowedRandom::new(topo.len(), 10, 9);
+        group.bench_with_input(BenchmarkId::new("build_duty10", nodes), &nodes, |b, _| {
+            b.iter(|| mlbs_core::EModel::build(black_box(&topo), &wake))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dutycycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dutycycle");
+    let wake = WindowedRandom::new(300, 10, 4);
+    group.bench_function("next_send", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for u in 0..300 {
+                acc = acc.wrapping_add(wake.next_send(u, black_box(12345)));
+            }
+            acc
+        })
+    });
+    group.bench_function("expected_cwt", |b| {
+        b.iter(|| wake.expected_cwt(black_box(3), black_box(17)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology,
+    bench_coloring,
+    bench_emodel,
+    bench_dutycycle
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Figure 3: P(A) in the round-based synchronous system vs node density.
+//!
+//! Series: 26-approximation, OPT, G-OPT, E-model, plus the Theorem 1
+//! analytical curve (OPT-analysis, `d + 2`).
+
+use wsn_bench::{run_figure, FigureOpts};
+use wsn_sim::Regime;
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    run_figure("Figure 3", Regime::Sync, &opts);
+}

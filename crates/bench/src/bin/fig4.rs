@@ -1,0 +1,11 @@
+//! Figure 4: P(A) in the duty-cycle system with r = 10 vs node density.
+//!
+//! Series: 17-approximation, OPT, G-OPT, E-model.
+
+use wsn_bench::{run_figure, FigureOpts};
+use wsn_sim::Regime;
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    run_figure("Figure 4", Regime::Duty { rate: 10 }, &opts);
+}

@@ -1,0 +1,11 @@
+//! Figure 5: analytical upper bounds in the duty-cycle system with r = 10.
+//!
+//! Theorem 1's `2r(d + 2)` against the 17-approximation's `17·k·d`, with
+//! `d` and `k` measured on the same instances as Figure 4.
+
+use wsn_bench::{run_bounds_figure, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    run_bounds_figure("Figure 5", 10, &opts);
+}

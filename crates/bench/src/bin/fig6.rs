@@ -1,0 +1,11 @@
+//! Figure 6: P(A) in the light duty-cycle system (2%, r = 50) vs density.
+//!
+//! Series: 17-approximation, OPT, G-OPT, E-model.
+
+use wsn_bench::{run_figure, FigureOpts};
+use wsn_sim::Regime;
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    run_figure("Figure 6", Regime::Duty { rate: 50 }, &opts);
+}

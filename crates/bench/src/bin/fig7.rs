@@ -1,0 +1,9 @@
+//! Figure 7: analytical upper bounds in the light duty-cycle system
+//! (r = 50): Theorem 1's `2r(d + 2)` vs the 17-approximation's `17·k·d`.
+
+use wsn_bench::{run_bounds_figure, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    run_bounds_figure("Figure 7", 50, &opts);
+}

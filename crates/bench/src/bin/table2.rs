@@ -1,0 +1,32 @@
+//! Table II: the `M` recursion trace for Figure 2(a) in the round-based
+//! synchronous system (`N = {1..5}`, `t_s = 1`, `P(A) = 2`).
+
+use mlbs_core::{solve_gopt, SearchConfig};
+use wsn_dutycycle::AlwaysAwake;
+use wsn_topology::fixtures;
+
+fn main() {
+    let f = fixtures::fig2a();
+    let out = solve_gopt(
+        &f.topo,
+        f.source,
+        &AlwaysAwake,
+        &SearchConfig {
+            collect_trace: true,
+            exhaustive: true,
+            ..SearchConfig::default()
+        },
+    );
+    println!(
+        "Table II — schedule for Figure 2(a), round-based system, \
+         t_s = 1, P(A) = {}\n",
+        out.schedule.completion_slot()
+    );
+    let trace = out.trace.expect("trace requested");
+    print!("{}", trace.render(&|u| f.label(u).to_string()));
+    println!("\nselected schedule:");
+    for e in &out.schedule.entries {
+        let senders: Vec<_> = e.senders.iter().map(|&u| f.label(u)).collect();
+        println!("  slot {}: {{{}}}", e.slot, senders.join(","));
+    }
+}

@@ -1,0 +1,32 @@
+//! Table III: the `M` recursion trace for Figure 1 in the round-based
+//! synchronous system (`N = {s, 0..10}`, `t_s = 1`, `P(A) = 3`).
+
+use mlbs_core::{solve_gopt, SearchConfig};
+use wsn_dutycycle::AlwaysAwake;
+use wsn_topology::fixtures;
+
+fn main() {
+    let f = fixtures::fig1();
+    let out = solve_gopt(
+        &f.topo,
+        f.source,
+        &AlwaysAwake,
+        &SearchConfig {
+            collect_trace: true,
+            exhaustive: true,
+            ..SearchConfig::default()
+        },
+    );
+    println!(
+        "Table III — schedule for Figure 1 (c), round-based system, \
+         t_s = 1, P(A) = {}\n",
+        out.schedule.completion_slot()
+    );
+    let trace = out.trace.expect("trace requested");
+    print!("{}", trace.render(&|u| f.label(u).to_string()));
+    println!("\nselected schedule:");
+    for e in &out.schedule.entries {
+        let senders: Vec<_> = e.senders.iter().map(|&u| f.label(u)).collect();
+        println!("  slot {}: {{{}}}", e.slot, senders.join(","));
+    }
+}

@@ -1,0 +1,327 @@
+//! Dense dynamic bitsets for node sets in WSN broadcast scheduling.
+//!
+//! Broadcast-scheduling state is dominated by set algebra over node
+//! identifiers: the informed set `W`, its complement `W̄`, per-node neighbor
+//! masks `N(u)`, receiver sets `N(u) ∩ W̄`, and interference tests
+//! `N(u) ∩ N(v) ∩ W̄ ≠ ∅`. All of these are hot paths inside the recursive
+//! solvers of `mlbs-core`, so this crate provides a compact, allocation-light
+//! bitset ([`NodeSet`]) tuned for those operations:
+//!
+//! * word-at-a-time union / intersection / difference,
+//! * short-circuiting emptiness tests for triple intersections,
+//! * fast iteration via trailing-zero scanning,
+//! * a stable 64-bit fingerprint ([`NodeSet::fingerprint`]) used as a
+//!   memoization key by the OPT / G-OPT searches.
+//!
+//! The universe size is fixed at construction; all sets participating in an
+//! operation must share it (checked with debug assertions, as the guide's
+//! HPC idiom recommends keeping release-path branches minimal).
+
+mod iter;
+mod ops;
+
+pub use iter::OnesIter;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-universe set of node indices backed by `u64` words.
+///
+/// `NodeSet` is the workhorse set representation of the workspace. It is
+/// deliberately *not* growable: a set is created for a topology of `n` nodes
+/// and stays that size, which keeps every binary operation a straight word
+/// loop with no bounds reconciliation.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_bitset::NodeSet;
+///
+/// let mut w = NodeSet::new(10);
+/// w.insert(3);
+/// w.insert(7);
+/// assert!(w.contains(3));
+/// assert_eq!(w.len(), 2);
+///
+/// let complement = w.complement();
+/// assert_eq!(complement.len(), 8);
+/// assert!(!complement.contains(3));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    /// Bit storage; the final word may be partially used.
+    words: Vec<u64>,
+    /// Size of the universe (number of addressable bits).
+    universe: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over a universe of `universe` elements.
+    pub fn new(universe: usize) -> Self {
+        let n_words = universe.div_ceil(WORD_BITS);
+        NodeSet {
+            words: vec![0; n_words],
+            universe,
+        }
+    }
+
+    /// Creates a set containing every element of the universe.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::new(universe);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.trim_last_word();
+        s
+    }
+
+    /// Creates a set from an iterator of indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of the universe.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(universe: usize, indices: I) -> Self {
+        let mut s = Self::new(universe);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Number of addressable elements (not the number of members).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Raw word storage, exposed for fingerprinting and word-level fusions.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Clears bits beyond the universe in the final partial word.
+    #[inline]
+    fn trim_last_word(&mut self) {
+        let used = self.universe % WORD_BITS;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    /// Inserts `idx`; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.universe, "index {idx} out of universe {}", self.universe);
+        let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
+        let mask = 1u64 << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Removes `idx`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        assert!(idx < self.universe, "index {idx} out of universe {}", self.universe);
+        let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.universe);
+        let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of members (popcount).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no member is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when every universe element is present.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe
+    }
+
+    /// Removes all members, keeping the universe.
+    #[inline]
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Iterates member indices in increasing order.
+    #[inline]
+    pub fn iter(&self) -> OnesIter<'_> {
+        OnesIter::new(&self.words)
+    }
+
+    /// Smallest member, if any.
+    #[inline]
+    pub fn min(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Collects members into a `Vec<usize>`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// A stable 64-bit fingerprint suitable for hash-map memo keys.
+    ///
+    /// Uses an FNV-1a style fold over the words followed by a SplitMix64
+    /// finalizer; collisions across distinct informed sets in one search are
+    /// astronomically unlikely and the solvers additionally store the full
+    /// set when exactness matters.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // SplitMix64 finalizer for avalanche.
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+}
+
+impl std::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl std::hash::Hash for NodeSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.words.hash(state);
+    }
+}
+
+impl FromIterator<usize> for NodeSet {
+    /// Builds a set whose universe is one past the maximum element.
+    ///
+    /// Mostly useful in tests; production code should prefer
+    /// [`NodeSet::from_indices`] with the topology's node count.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let universe = items.iter().max().map_or(0, |m| m + 1);
+        Self::from_indices(universe, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = NodeSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn zero_universe_is_both_empty_and_full() {
+        let s = NodeSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.is_full());
+        assert_eq!(NodeSet::full(0), s);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = NodeSet::new(70);
+        assert!(s.insert(0));
+        assert!(s.insert(69));
+        assert!(!s.insert(69), "second insert reports not-fresh");
+        assert!(s.contains(0));
+        assert!(s.contains(69));
+        assert!(!s.contains(42));
+        assert!(s.remove(69));
+        assert!(!s.remove(69));
+        assert!(!s.contains(69));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_universe_panics() {
+        NodeSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_set_trims_partial_word() {
+        let s = NodeSet::full(65);
+        assert_eq!(s.len(), 65);
+        assert!(s.is_full());
+        assert_eq!(s.words()[1], 1, "only bit 64 set in second word");
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = NodeSet::from_indices(200, [150, 3, 64, 65, 0, 199]);
+        assert_eq!(s.to_vec(), vec![0, 3, 64, 65, 150, 199]);
+        assert_eq!(s.min(), Some(0));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_nearby_sets() {
+        let a = NodeSet::from_indices(128, [1, 2, 3]);
+        let b = NodeSet::from_indices(128, [1, 2, 4]);
+        let c = NodeSet::from_indices(128, [1, 2, 3]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: NodeSet = [5usize, 9].into_iter().collect();
+        assert_eq!(s.universe(), 10);
+        assert!(s.contains(9));
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = NodeSet::from_indices(8, [1, 5]);
+        assert_eq!(format!("{s:?}"), "{1, 5}");
+    }
+
+    #[test]
+    fn clear_keeps_universe() {
+        let mut s = NodeSet::full(90);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 90);
+    }
+}

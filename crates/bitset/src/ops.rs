@@ -1,0 +1,202 @@
+//! Set algebra: unions, intersections, differences, and the fused
+//! short-circuit tests used by the interference model.
+
+use crate::NodeSet;
+
+impl NodeSet {
+    /// In-place union: `self ∪= other`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the universes differ.
+    #[inline]
+    pub fn union_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self ∖= other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `self ∖ other` as a new set.
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Returns the complement within the universe (`W̄ = N ∖ W`).
+    pub fn complement(&self) -> NodeSet {
+        let mut out = NodeSet {
+            words: self.words.iter().map(|w| !w).collect(),
+            universe: self.universe,
+        };
+        out.trim_last_word();
+        out
+    }
+
+    /// `true` when the sets share at least one member.
+    ///
+    /// Short-circuits on the first overlapping word — the common case in the
+    /// conflict tests where overlaps are found early or not at all.
+    #[inline]
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// `true` when `self ∩ a ∩ b` is non-empty, without allocating.
+    ///
+    /// This is the paper's interference predicate
+    /// `N(u) ∩ N(v) ∩ W̄ ≠ ∅` (Eq. 1, constraint 3) fused into a single
+    /// pass; it is the hottest operation in conflict-graph construction.
+    #[inline]
+    pub fn triple_intersects(&self, a: &NodeSet, b: &NodeSet) -> bool {
+        debug_assert_eq!(self.universe, a.universe);
+        debug_assert_eq!(self.universe, b.universe);
+        self.words
+            .iter()
+            .zip(&a.words)
+            .zip(&b.words)
+            .any(|((x, y), z)| x & y & z != 0)
+    }
+
+    /// Popcount of `self ∩ other` without allocating.
+    #[inline]
+    pub fn intersection_len(&self, other: &NodeSet) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Popcount of `self ∖ other` without allocating.
+    #[inline]
+    pub fn difference_len(&self, other: &NodeSet) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `true` when every member of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` when the sets have no common member.
+    #[inline]
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        !self.intersects(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(xs: &[usize]) -> NodeSet {
+        NodeSet::from_indices(150, xs.iter().copied())
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = set(&[1, 2, 3, 100]);
+        let b = set(&[3, 4, 100, 149]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4, 100, 149]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![3, 100]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 2]);
+        assert_eq!(b.difference(&a).to_vec(), vec![4, 149]);
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let a = set(&[0, 64, 149]);
+        assert_eq!(a.complement().complement(), a);
+        assert_eq!(a.complement().len(), 150 - 3);
+        assert!(a.complement().is_disjoint(&a));
+    }
+
+    #[test]
+    fn intersects_matches_intersection_emptiness() {
+        let a = set(&[10, 70]);
+        let b = set(&[70]);
+        let c = set(&[11]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn triple_intersects_matches_naive() {
+        let w = set(&[5, 6, 7, 130]);
+        let a = set(&[6, 7, 130]);
+        let b = set(&[7, 129]);
+        assert!(w.triple_intersects(&a, &b)); // common member: 7
+        let b2 = set(&[5, 130]);
+        assert!(w.triple_intersects(&a, &b2)); // common member: 130
+        let b3 = set(&[5, 99]);
+        assert!(!w.triple_intersects(&a, &b3));
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[2, 3, 4]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.difference_len(&b), 1);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = set(&[2, 3]);
+        let b = set(&[1, 2, 3, 4]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(NodeSet::new(150).is_subset(&a));
+    }
+}

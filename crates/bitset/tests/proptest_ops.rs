@@ -1,0 +1,87 @@
+//! Property tests: `NodeSet` algebra must agree with `std::collections::BTreeSet`.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use wsn_bitset::NodeSet;
+
+const UNIVERSE: usize = 193; // deliberately not a multiple of 64
+
+fn arb_indices() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..UNIVERSE, 0..80)
+}
+
+fn model(xs: &[usize]) -> BTreeSet<usize> {
+    xs.iter().copied().collect()
+}
+
+fn build(xs: &[usize]) -> NodeSet {
+    NodeSet::from_indices(UNIVERSE, xs.iter().copied())
+}
+
+proptest! {
+    #[test]
+    fn union_matches_model(a in arb_indices(), b in arb_indices()) {
+        let got = build(&a).union(&build(&b)).to_vec();
+        let want: Vec<usize> = model(&a).union(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn intersection_matches_model(a in arb_indices(), b in arb_indices()) {
+        let got = build(&a).intersection(&build(&b)).to_vec();
+        let want: Vec<usize> = model(&a).intersection(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn difference_matches_model(a in arb_indices(), b in arb_indices()) {
+        let got = build(&a).difference(&build(&b)).to_vec();
+        let want: Vec<usize> = model(&a).difference(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn complement_partitions_universe(a in arb_indices()) {
+        let s = build(&a);
+        let c = s.complement();
+        prop_assert!(s.is_disjoint(&c));
+        prop_assert_eq!(s.len() + c.len(), UNIVERSE);
+        prop_assert!(s.union(&c).is_full());
+    }
+
+    #[test]
+    fn triple_intersects_matches_allocating(a in arb_indices(), b in arb_indices(), c in arb_indices()) {
+        let (sa, sb, sc) = (build(&a), build(&b), build(&c));
+        let naive = !sa.intersection(&sb).intersection(&sc).is_empty();
+        prop_assert_eq!(sa.triple_intersects(&sb, &sc), naive);
+    }
+
+    #[test]
+    fn counts_match_allocating(a in arb_indices(), b in arb_indices()) {
+        let (sa, sb) = (build(&a), build(&b));
+        prop_assert_eq!(sa.intersection_len(&sb), sa.intersection(&sb).len());
+        prop_assert_eq!(sa.difference_len(&sb), sa.difference(&sb).len());
+    }
+
+    #[test]
+    fn subset_iff_difference_empty(a in arb_indices(), b in arb_indices()) {
+        let (sa, sb) = (build(&a), build(&b));
+        prop_assert_eq!(sa.is_subset(&sb), sa.difference(&sb).is_empty());
+    }
+
+    #[test]
+    fn iteration_sorted_and_deduplicated(a in arb_indices()) {
+        let v = build(&a).to_vec();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(v, sorted);
+    }
+
+    #[test]
+    fn fingerprint_equal_sets_agree(a in arb_indices()) {
+        let mut shuffled = a.clone();
+        shuffled.reverse();
+        prop_assert_eq!(build(&a).fingerprint(), build(&shuffled).fingerprint());
+    }
+}

@@ -1,0 +1,180 @@
+//! The extended greedy color scheme (Algorithm 1, Eq. 2).
+
+use crate::receiver_count;
+use wsn_bitset::NodeSet;
+use wsn_interference::ConflictGraph;
+use wsn_topology::{NodeId, Topology};
+
+/// Runs Algorithm 1 on an explicit candidate list.
+///
+/// Steps 3–5: sort candidates by receiver count descending (ties broken by
+/// node id ascending, which reproduces the color labels of Tables II–IV),
+/// then repeatedly sweep the unlabeled candidates, adding each to the
+/// current color unless it conflicts with a member already in it.
+///
+/// Returns the color classes `C_1 … C_λ` in label order; every class is
+/// non-empty and classes partition the candidate list.
+pub fn greedy_coloring_of_candidates(
+    topo: &Topology,
+    informed: &NodeSet,
+    candidates: &[NodeId],
+) -> Vec<Vec<NodeId>> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let uninformed = informed.complement();
+
+    // Eq. (2) order: most receivers first; id ascending on ties. Sorting a
+    // copy keeps the caller's order intact.
+    let mut keyed: Vec<(usize, NodeId)> = candidates
+        .iter()
+        .map(|&u| (receiver_count(topo, u, &uninformed), u))
+        .collect();
+    keyed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let order: Vec<NodeId> = keyed.into_iter().map(|(_, u)| u).collect();
+
+    let cg = ConflictGraph::build(topo, &order, &uninformed);
+    let k = order.len();
+    let mut color = vec![usize::MAX; k];
+    let mut next_color = 0usize;
+    let mut remaining = k;
+    while remaining > 0 {
+        // Members of the color being built, as a candidate-index bitset so
+        // the conflict test is one word-parallel intersection.
+        let mut members = NodeSet::new(k);
+        for (i, c) in color.iter_mut().enumerate() {
+            if *c == usize::MAX && !cg.conflicts_with_set(i, &members) {
+                *c = next_color;
+                members.insert(i);
+                remaining -= 1;
+            }
+        }
+        next_color += 1;
+    }
+
+    let mut classes = vec![Vec::new(); next_color];
+    for (i, &c) in color.iter().enumerate() {
+        classes[c].push(order[i]);
+    }
+    classes
+}
+
+/// Runs Algorithm 1 on the round-based candidate rule: all informed nodes
+/// with uninformed neighbors. For the duty-cycle rule, filter candidates
+/// with [`crate::eligible_awake_senders`] and call
+/// [`greedy_coloring_of_candidates`].
+pub fn greedy_coloring(topo: &Topology, informed: &NodeSet) -> Vec<Vec<NodeId>> {
+    let candidates = crate::eligible_senders(topo, informed);
+    greedy_coloring_of_candidates(topo, informed, &candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_coloring;
+    use wsn_geom::Point;
+    use wsn_topology::fixtures;
+
+    #[test]
+    fn fig2a_colors_match_table_ii() {
+        // W = {1, 2, 3} (paper labels): colors C1 = {2}, C2 = {3}.
+        let f = fixtures::fig2a();
+        let w = NodeSet::from_indices(5, [0, 1, 2]); // ids of paper 1, 2, 3
+        let classes = greedy_coloring(&f.topo, &w);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], vec![f.id("2")]);
+        assert_eq!(classes[1], vec![f.id("3")]);
+    }
+
+    #[test]
+    fn fig1_first_propagation_colors() {
+        // W = {s, 0, 1, 2}: Table III row 2 gives C1 = {0}, C2 = {1},
+        // C3 = {2} (receiver counts 4, 3, 1; pairwise conflicts at node 3).
+        let f = fixtures::fig1();
+        let w = NodeSet::from_indices(12, [f.source.idx(), 0, 1, 2]);
+        let classes = greedy_coloring(&f.topo, &w);
+        assert_eq!(classes.len(), 3);
+        assert_eq!(classes[0], vec![f.id("0")]);
+        assert_eq!(classes[1], vec![f.id("1")]);
+        assert_eq!(classes[2], vec![f.id("2")]);
+    }
+
+    #[test]
+    fn fig1_pipelined_recolor_after_selecting_node_1() {
+        // W = {s, 0, 1, 2, 3, 4, 10} (after launching node 1's relay):
+        // Table III gives C1 = {0, 4}, C2 = {3}, C3 = {10}.
+        let f = fixtures::fig1();
+        let ids = [f.source, f.id("0"), f.id("1"), f.id("2"), f.id("3"), f.id("4"), f.id("10")];
+        let w = NodeSet::from_indices(12, ids.iter().map(|u| u.idx()));
+        let classes = greedy_coloring(&f.topo, &w);
+        assert_eq!(classes.len(), 3);
+        assert_eq!(classes[0], vec![f.id("0"), f.id("4")]);
+        assert_eq!(classes[1], vec![f.id("3")]);
+        assert_eq!(classes[2], vec![f.id("10")]);
+    }
+
+    #[test]
+    fn fig1_branch_after_node_0() {
+        // W = {s, 0, 1, 2, 3, 5, 6, 7}: Table III gives C1 = {3},
+        // C2 = {1, 6}.
+        let f = fixtures::fig1();
+        let ids = [f.source, f.id("0"), f.id("1"), f.id("2"), f.id("3"), f.id("5"), f.id("6"), f.id("7")];
+        let w = NodeSet::from_indices(12, ids.iter().map(|u| u.idx()));
+        let classes = greedy_coloring(&f.topo, &w);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], vec![f.id("3")]);
+        assert_eq!(classes[1], vec![f.id("1"), f.id("6")]);
+    }
+
+    #[test]
+    fn colorings_are_always_valid() {
+        let f = fixtures::fig1();
+        // Try every informed set that is a BFS prefix plus assorted extras.
+        let sets = [
+            vec![11usize],
+            vec![11, 0, 1, 2],
+            vec![11, 0, 1, 2, 3],
+            vec![11, 0, 1, 2, 3, 4, 10],
+            vec![11, 0, 1, 2, 3, 5, 6, 7],
+            vec![11, 0, 1, 2, 3, 4, 6, 8, 9, 10],
+        ];
+        for ids in sets {
+            let w = NodeSet::from_indices(12, ids.iter().copied());
+            let classes = greedy_coloring(&f.topo, &w);
+            validate_coloring(&f.topo, &w, &classes).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_coloring() {
+        let f = fixtures::fig2a();
+        assert!(greedy_coloring(&f.topo, &NodeSet::full(5)).is_empty());
+    }
+
+    #[test]
+    fn conflict_free_candidates_share_one_color() {
+        // Two far-apart informed senders with disjoint uninformed
+        // neighborhoods must be a single color.
+        let topo = wsn_topology::Topology::unit_disk(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(11.0, 0.0),
+                Point::new(5.0, 0.0), // bridge so the graph is one piece
+                Point::new(2.0, 0.0),
+                Point::new(3.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(6.0, 0.0),
+                Point::new(7.0, 0.0),
+                Point::new(8.0, 0.0),
+                Point::new(9.0, 0.0),
+            ],
+            1.0,
+        );
+        let w = NodeSet::from_indices(12, [0, 1, 2, 3]);
+        let classes = greedy_coloring(&topo, &w);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 2);
+    }
+}

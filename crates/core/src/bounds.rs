@@ -1,0 +1,142 @@
+//! Analytical bounds: Theorem 1 and the baselines' guarantees.
+//!
+//! Theorem 1 bounds the minimum-latency broadcast at `d + 2` rounds in the
+//! round-based system and `2r(d + 2)` slots in the duty-cycle system, where
+//! `d` is the source's eccentricity. Figures 3, 5 and 7 plot these curves
+//! (`OPT-analysis`) against the approximation baselines' guarantees:
+//! `26·d` for the synchronous 26-approximation of \[2\] and `17·k·d` for
+//! the duty-cycle 17-approximation of \[12\], with `k` the maximum wait
+//! between any pair of neighbors.
+
+use wsn_bitset::NodeSet;
+use wsn_dutycycle::{Slot, WakeSchedule};
+use wsn_topology::{metrics, NodeId, Topology};
+
+/// Theorem 1, round-based system: `P(A) − t_s + 1 ≤ d + 2` rounds.
+pub fn opt_bound_sync(eccentricity: u32) -> Slot {
+    eccentricity as Slot + 2
+}
+
+/// Theorem 1, duty-cycle system: `P(A) − t_s + 1 ≤ 2r(d + 2)` slots.
+pub fn opt_bound_duty(eccentricity: u32, rate: u32) -> Slot {
+    2 * rate as Slot * (eccentricity as Slot + 2)
+}
+
+/// The 26-approximation guarantee of Chen et al. \[2\]: latency at most
+/// `26·d` rounds.
+pub fn bound_26_approx(eccentricity: u32) -> Slot {
+    26 * eccentricity as Slot
+}
+
+/// The 17-approximation guarantee of Jiao et al. \[12\]: latency at most
+/// `17·k·d` slots, `k` being the maximum wait slots required between any
+/// pair of neighboring nodes.
+pub fn bound_17_approx(eccentricity: u32, max_wait: Slot) -> Slot {
+    17 * max_wait * eccentricity as Slot
+}
+
+/// Measures `k` for [`bound_17_approx`] on a concrete instance: the
+/// maximum, over all directed neighbor pairs, of the worst-case CWT.
+pub fn max_neighbor_wait<S: WakeSchedule>(topo: &Topology, wake: &S) -> Slot {
+    let mut k = 1;
+    for (u, v) in topo.csr().edges() {
+        k = k.max(wake.max_cwt(u.idx(), v.idx()));
+        k = k.max(wake.max_cwt(v.idx(), u.idx()));
+    }
+    k
+}
+
+/// Admissible lower bound on the remaining broadcast delay from informed
+/// set `W`: the farthest uninformed node in hops. Each slot launches at
+/// most one conflict-free advance, which extends the informed set by at
+/// most one hop, so at least `h` further slots are needed to reach a node
+/// `h` hops away. Used by the branch-and-bound searches.
+pub fn remaining_hops_lower_bound(topo: &Topology, informed: &NodeSet) -> Slot {
+    let dist = metrics::bfs_hops_from_set(topo, informed);
+    let mut far = 0;
+    for u in informed.complement().iter() {
+        debug_assert_ne!(
+            dist[u],
+            metrics::UNREACHABLE,
+            "lower bound undefined on disconnected instances"
+        );
+        far = far.max(dist[u]);
+    }
+    far as Slot
+}
+
+/// Eccentricity of the source, the `d` every bound is phrased in.
+///
+/// # Panics
+///
+/// Panics when the topology is disconnected.
+pub fn source_eccentricity(topo: &Topology, source: NodeId) -> u32 {
+    metrics::eccentricity(topo, source).expect("bounds require a connected topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_dutycycle::{AlwaysAwake, WindowedRandom};
+    use wsn_topology::{deploy, fixtures};
+
+    #[test]
+    fn theorem1_values() {
+        assert_eq!(opt_bound_sync(3), 5);
+        assert_eq!(opt_bound_duty(3, 10), 100);
+        assert_eq!(opt_bound_duty(5, 50), 700);
+        assert_eq!(bound_26_approx(4), 104);
+        assert_eq!(bound_17_approx(4, 19), 1292);
+    }
+
+    #[test]
+    fn fig1_respects_theorem1() {
+        // Figure 1: d = 3, optimum P(A) = 3 < d + 2 = 5.
+        let f = fixtures::fig1();
+        let d = source_eccentricity(&f.topo, f.source);
+        assert_eq!(d, 3);
+        let out = crate::solve_gopt(
+            &f.topo,
+            f.source,
+            &AlwaysAwake,
+            &crate::SearchConfig::default(),
+        );
+        assert!(out.latency < opt_bound_sync(d));
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_on_fixtures() {
+        // On Fig 2(a): from W = {source}, the farthest node is 2 hops away
+        // and the optimum is exactly 2.
+        let f = fixtures::fig2a();
+        let w = NodeSet::from_indices(5, [f.source.idx()]);
+        assert_eq!(remaining_hops_lower_bound(&f.topo, &w), 2);
+        let out = crate::solve_gopt(
+            &f.topo,
+            f.source,
+            &AlwaysAwake,
+            &crate::SearchConfig::default(),
+        );
+        assert!(out.latency >= 2);
+    }
+
+    #[test]
+    fn lower_bound_zero_when_one_hop_remains_nowhere() {
+        let f = fixtures::fig2a();
+        assert_eq!(remaining_hops_lower_bound(&f.topo, &NodeSet::full(5)), 0);
+    }
+
+    #[test]
+    fn max_neighbor_wait_sync_is_one() {
+        let f = fixtures::fig2a();
+        assert_eq!(max_neighbor_wait(&f.topo, &AlwaysAwake), 1);
+    }
+
+    #[test]
+    fn max_neighbor_wait_duty_in_range() {
+        let (topo, _) = deploy::SyntheticDeployment::paper(60).sample(2);
+        let wake = WindowedRandom::new(topo.len(), 10, 5);
+        let k = max_neighbor_wait(&topo, &wake);
+        assert!((1..20).contains(&k), "k = {k} outside [1, 2r)");
+    }
+}

@@ -1,0 +1,361 @@
+//! Broadcast schedules and their verification.
+
+use wsn_bitset::NodeSet;
+use wsn_dutycycle::{Slot, WakeSchedule};
+use wsn_interference::resolve_receptions;
+use wsn_topology::{NodeId, Topology};
+
+/// One advance: a conflict-free sender set launched in a slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// The slot of the transmission.
+    pub slot: Slot,
+    /// The senders (one color), ascending by node id.
+    pub senders: Vec<NodeId>,
+}
+
+/// A complete broadcast schedule: which conflict-free set transmits in
+/// which slot, from the source's first sending slot `t_s` until coverage.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// The broadcast source.
+    pub source: NodeId,
+    /// The source's first sending slot (`t_s`).
+    pub start: Slot,
+    /// Advances in strictly increasing slot order.
+    pub entries: Vec<ScheduleEntry>,
+    /// Slot in which each node became informed (`start` for the source).
+    pub receive_slot: Vec<Slot>,
+}
+
+impl Schedule {
+    /// The slot of the last transmission (`t_e` in Eq. 4; `M(N, t) = t−1`
+    /// makes the counter equal the final transmission slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a schedule with no entries (a 1-node broadcast needs no
+    /// transmission; callers special-case it).
+    pub fn completion_slot(&self) -> Slot {
+        self.entries
+            .last()
+            .expect("schedule has no transmissions")
+            .slot
+    }
+
+    /// End-to-end latency in rounds/slots: `t_e − t_s + 1`, the elapsed
+    /// number of slots from the source's first transmission through the
+    /// last. This is the `P(A)` the paper reports when `t_s = 1`.
+    pub fn latency(&self) -> Slot {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        self.completion_slot() - self.start + 1
+    }
+
+    /// Total number of transmissions (channel uses) across all advances —
+    /// the redundancy metric of broadcast-storm discussions.
+    pub fn transmission_count(&self) -> usize {
+        self.entries.iter().map(|e| e.senders.len()).sum()
+    }
+
+    /// Replays the schedule and checks every legality condition. Verified
+    /// schedules are exactly those executable on the paper's network model:
+    ///
+    /// 1. entries are in strictly increasing slot order, none before `t_s`;
+    /// 2. every sender is informed before its slot, awake in it
+    ///    (`slot ∈ T(u)`), and transmits at most once over the schedule;
+    /// 3. no two concurrent senders share an uninformed neighbor — checked
+    ///    independently of the scheduler via receiver-side collision
+    ///    resolution;
+    /// 4. every node is informed by the end (full coverage).
+    pub fn verify<S: WakeSchedule>(
+        &self,
+        topo: &Topology,
+        wake: &S,
+    ) -> Result<(), ScheduleError> {
+        let n = topo.len();
+        let mut informed = NodeSet::new(n);
+        informed.insert(self.source.idx());
+        let mut has_sent = NodeSet::new(n);
+        let mut prev_slot: Option<Slot> = None;
+
+        for entry in &self.entries {
+            if entry.slot < self.start {
+                return Err(ScheduleError::BeforeStart { slot: entry.slot });
+            }
+            if let Some(p) = prev_slot {
+                if entry.slot <= p {
+                    return Err(ScheduleError::NonMonotonicSlots {
+                        prev: p,
+                        next: entry.slot,
+                    });
+                }
+            }
+            prev_slot = Some(entry.slot);
+
+            if entry.senders.is_empty() {
+                return Err(ScheduleError::EmptyAdvance { slot: entry.slot });
+            }
+
+            let mut senders = NodeSet::new(n);
+            for &u in &entry.senders {
+                if !informed.contains(u.idx()) {
+                    return Err(ScheduleError::UninformedSender {
+                        node: u,
+                        slot: entry.slot,
+                    });
+                }
+                if !wake.can_send(u.idx(), entry.slot) {
+                    return Err(ScheduleError::AsleepSender {
+                        node: u,
+                        slot: entry.slot,
+                    });
+                }
+                if has_sent.contains(u.idx()) {
+                    return Err(ScheduleError::DuplicateSender { node: u });
+                }
+                has_sent.insert(u.idx());
+                senders.insert(u.idx());
+            }
+
+            let uninformed = informed.complement();
+            let outcome = resolve_receptions(topo, &senders, &uninformed);
+            if let Some(victim) = outcome.collided.min() {
+                return Err(ScheduleError::Collision {
+                    victim: NodeId(victim as u32),
+                    slot: entry.slot,
+                });
+            }
+            informed.union_with(&outcome.received);
+        }
+
+        if !informed.is_full() {
+            let missing = informed.complement().min().expect("non-full set");
+            return Err(ScheduleError::Incomplete {
+                node: NodeId(missing as u32),
+            });
+        }
+        Ok(())
+    }
+
+    /// The informed set after replaying the first `k` entries (diagnostic
+    /// helper used by traces and visualization).
+    pub fn informed_after(&self, topo: &Topology, k: usize) -> NodeSet {
+        let mut informed = NodeSet::new(topo.len());
+        informed.insert(self.source.idx());
+        for entry in self.entries.iter().take(k) {
+            for &u in &entry.senders {
+                let mut recv = topo.neighbor_set(u).clone();
+                recv.difference_with(&informed);
+                informed.union_with(&recv);
+            }
+        }
+        informed
+    }
+}
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A transmission precedes the source's start slot.
+    BeforeStart { slot: Slot },
+    /// Entries are not strictly increasing in slot.
+    NonMonotonicSlots { prev: Slot, next: Slot },
+    /// An entry with no senders.
+    EmptyAdvance { slot: Slot },
+    /// A sender transmits before being informed.
+    UninformedSender { node: NodeId, slot: Slot },
+    /// A sender transmits in a slot where its sending channel is off.
+    AsleepSender { node: NodeId, slot: Slot },
+    /// A node transmits twice.
+    DuplicateSender { node: NodeId },
+    /// Two concurrent senders collide at an uninformed node.
+    Collision { victim: NodeId, slot: Slot },
+    /// Some node never receives the message.
+    Incomplete { node: NodeId },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::BeforeStart { slot } => {
+                write!(f, "transmission at slot {slot} precedes the start slot")
+            }
+            ScheduleError::NonMonotonicSlots { prev, next } => {
+                write!(f, "slot {next} does not follow slot {prev}")
+            }
+            ScheduleError::EmptyAdvance { slot } => write!(f, "empty advance at slot {slot}"),
+            ScheduleError::UninformedSender { node, slot } => {
+                write!(f, "node {node} transmits at slot {slot} before receiving")
+            }
+            ScheduleError::AsleepSender { node, slot } => {
+                write!(f, "node {node} transmits at slot {slot} while asleep")
+            }
+            ScheduleError::DuplicateSender { node } => {
+                write!(f, "node {node} transmits more than once")
+            }
+            ScheduleError::Collision { victim, slot } => {
+                write!(f, "collision at node {victim} in slot {slot}")
+            }
+            ScheduleError::Incomplete { node } => {
+                write!(f, "node {node} never receives the message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_dutycycle::{AlwaysAwake, ExplicitSchedule};
+    use wsn_topology::fixtures;
+
+    /// The Table II schedule for Figure 2(a): slot 1 node "1" transmits,
+    /// slot 2 node "2" transmits.
+    fn table2_schedule() -> (Schedule, wsn_topology::fixtures::Fixture) {
+        let f = fixtures::fig2a();
+        let s = Schedule {
+            source: f.source,
+            start: 1,
+            entries: vec![
+                ScheduleEntry {
+                    slot: 1,
+                    senders: vec![f.id("1")],
+                },
+                ScheduleEntry {
+                    slot: 2,
+                    senders: vec![f.id("2")],
+                },
+            ],
+            receive_slot: vec![1, 2, 2, 3, 3],
+        };
+        (s, f)
+    }
+
+    #[test]
+    fn paper_optimal_fig2a_verifies() {
+        let (s, f) = table2_schedule();
+        s.verify(&f.topo, &AlwaysAwake).unwrap();
+        assert_eq!(s.latency(), 2);
+        assert_eq!(s.completion_slot(), 2);
+        assert_eq!(s.transmission_count(), 2);
+    }
+
+    #[test]
+    fn conflicting_senders_rejected() {
+        let f = fixtures::fig2a();
+        // Launching "2" and "3" together collides at "4".
+        let s = Schedule {
+            source: f.source,
+            start: 1,
+            entries: vec![
+                ScheduleEntry {
+                    slot: 1,
+                    senders: vec![f.id("1")],
+                },
+                ScheduleEntry {
+                    slot: 2,
+                    senders: vec![f.id("2"), f.id("3")],
+                },
+            ],
+            receive_slot: vec![],
+        };
+        let err = s.verify(&f.topo, &AlwaysAwake).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::Collision {
+                victim: f.id("4"),
+                slot: 2
+            }
+        );
+    }
+
+    #[test]
+    fn uninformed_sender_rejected() {
+        let f = fixtures::fig2a();
+        let s = Schedule {
+            source: f.source,
+            start: 1,
+            entries: vec![ScheduleEntry {
+                slot: 1,
+                senders: vec![f.id("2")],
+            }],
+            receive_slot: vec![],
+        };
+        assert!(matches!(
+            s.verify(&f.topo, &AlwaysAwake).unwrap_err(),
+            ScheduleError::UninformedSender { .. }
+        ));
+    }
+
+    #[test]
+    fn asleep_sender_rejected() {
+        let (s, f) = table2_schedule();
+        // Node "1" (id 0) only wakes at slot 3 — its slot-1 transmission is
+        // illegal under this duty cycle.
+        let wake = ExplicitSchedule::new(
+            vec![vec![3], vec![2], vec![2], vec![2], vec![2]],
+            10,
+        );
+        assert!(matches!(
+            s.verify(&f.topo, &wake).unwrap_err(),
+            ScheduleError::AsleepSender { .. }
+        ));
+    }
+
+    #[test]
+    fn incomplete_coverage_rejected() {
+        let f = fixtures::fig2a();
+        let s = Schedule {
+            source: f.source,
+            start: 1,
+            entries: vec![ScheduleEntry {
+                slot: 1,
+                senders: vec![f.id("1")],
+            }],
+            receive_slot: vec![],
+        };
+        assert!(matches!(
+            s.verify(&f.topo, &AlwaysAwake).unwrap_err(),
+            ScheduleError::Incomplete { .. }
+        ));
+    }
+
+    #[test]
+    fn slot_order_enforced() {
+        let (mut s, f) = table2_schedule();
+        s.entries.swap(0, 1);
+        assert!(matches!(
+            s.verify(&f.topo, &AlwaysAwake).unwrap_err(),
+            // Node "2" now transmits at slot 2 before anything reached it…
+            // except slot order is checked per entry as we replay: the
+            // swapped order fails monotonicity first.
+            ScheduleError::UninformedSender { .. } | ScheduleError::NonMonotonicSlots { .. }
+        ));
+    }
+
+    #[test]
+    fn informed_after_replays_prefixes() {
+        let (s, f) = table2_schedule();
+        let w0 = s.informed_after(&f.topo, 0);
+        assert_eq!(w0.to_vec(), vec![f.source.idx()]);
+        let w1 = s.informed_after(&f.topo, 1);
+        assert_eq!(w1.len(), 3);
+        let w2 = s.informed_after(&f.topo, 2);
+        assert!(w2.is_full());
+    }
+
+    #[test]
+    fn empty_schedule_latency_zero() {
+        let s = Schedule {
+            source: NodeId(0),
+            start: 1,
+            entries: vec![],
+            receive_slot: vec![1],
+        };
+        assert_eq!(s.latency(), 0);
+    }
+}

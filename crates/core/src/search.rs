@@ -1,0 +1,670 @@
+//! The OPT and G-OPT searches: exact minimization of the time counter `M`.
+//!
+//! Eq. (4) defines the delay of a broadcast as the fixpoint of
+//! `M(W, t) = M(W + A(W, t), t + 1)` with `M(N, t) = t − 1`; OPT (Eq. 5/6)
+//! picks at every state the color minimizing the continuation over *all*
+//! admissible colors, G-OPT (Eq. 7/8) over the greedy classes only. Both
+//! are realized here as one memoized depth-first branch-and-bound:
+//!
+//! * **State** — `(W, t mod P)` where `P` is the wake schedule's period:
+//!   the remaining delay is Markov in the informed set and the schedule
+//!   phase (rem(W, t) = rem(W, t + P) by periodicity).
+//! * **Upper bound seeding** — the pipeline with the plain greedy selector
+//!   provides an achievable initial budget, so the search only explores
+//!   improving branches.
+//! * **Lower bound** — an uninformed node `h` hops from `W` needs at least
+//!   `h` further slots (one advance per slot); see
+//!   [`crate::bounds::remaining_hops_lower_bound`].
+//! * **Branch rules** — greedy classes (G-OPT), or every maximal
+//!   conflict-free sender set plus the maximal extensions of the greedy
+//!   classes (OPT; including the extensions guarantees OPT ≤ G-OPT even
+//!   when the enumeration cap truncates — see DESIGN.md).
+//!
+//! Monotonicity (a larger informed set can always simulate a smaller one)
+//! justifies both never-defer and maximal-set branching; the property tests
+//! in `tests/` check optimality against exhaustive search on small
+//! instances.
+
+use crate::bounds::remaining_hops_lower_bound;
+use crate::pipeline::{run_pipeline, MaxReceiversSelector, PipelineConfig};
+use crate::schedule::{Schedule, ScheduleEntry};
+use crate::trace::{SearchTrace, TraceOption, TraceState};
+use std::collections::HashMap;
+use wsn_bitset::NodeSet;
+use wsn_coloring::{
+    eligible_awake_senders, eligible_senders, greedy_coloring_of_candidates,
+    maximal_conflict_free_sets,
+};
+use wsn_dutycycle::{Slot, WakeSchedule};
+use wsn_interference::ConflictGraph;
+use wsn_topology::{NodeId, Topology};
+
+/// Search parameters.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Slot from which the source may first transmit (`t_s` is its first
+    /// sending slot at or after this).
+    pub start_from: Slot,
+    /// OPT only: maximum number of maximal conflict-free sets enumerated
+    /// per state before the branch list is truncated (beam mode).
+    pub branch_cap: usize,
+    /// Hard cap on distinct states evaluated; beyond it new states are
+    /// abandoned (the search still returns a valid schedule, flagged
+    /// inexact).
+    pub max_states: usize,
+    /// Record a [`SearchTrace`] (used by the table binaries).
+    pub collect_trace: bool,
+    /// Disable upper-bound seeding and budget tightening so that every
+    /// branch is evaluated exactly — required for complete paper-style
+    /// traces; only sensible on small fixtures.
+    pub exhaustive: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            start_from: 1,
+            branch_cap: 64,
+            max_states: 2_000_000,
+            collect_trace: false,
+            exhaustive: false,
+        }
+    }
+}
+
+/// Search statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Distinct `(W, phase)` states evaluated.
+    pub states: usize,
+    /// Memo lookups that short-circuited a subtree.
+    pub memo_hits: usize,
+    /// Branches pruned by bound reasoning.
+    pub pruned: usize,
+    /// States whose OPT enumeration hit the branch cap.
+    pub truncated_enumerations: usize,
+    /// `true` when `max_states` stopped the search somewhere.
+    pub state_cap_hit: bool,
+}
+
+/// Result of a search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// End-to-end latency of that schedule (`t_e − t_s + 1`).
+    pub latency: Slot,
+    /// `true` when the result is provably optimal for the branch rule
+    /// (no enumeration truncation, no state-cap abandonment).
+    pub exact: bool,
+    /// Statistics.
+    pub stats: SearchStats,
+    /// The trace, when requested.
+    pub trace: Option<SearchTrace>,
+}
+
+/// Which colors a state may branch over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BranchRule {
+    /// The λ classes of the extended greedy scheme (G-OPT, Eq. 7/8).
+    GreedyClasses,
+    /// All maximal conflict-free sender sets (OPT, Eq. 5/6), capped.
+    MaximalSets,
+}
+
+/// G-OPT: minimum-latency schedule over greedy-scheme colors (Eq. 7/8).
+pub fn solve_gopt<S: WakeSchedule>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    Searcher::new(topo, wake, config, BranchRule::GreedyClasses).run(source)
+}
+
+/// OPT: minimum-latency schedule over every admissible color (Eq. 5/6).
+///
+/// Exact when the per-state enumeration never exceeds
+/// [`SearchConfig::branch_cap`]; otherwise a beam search whose result is
+/// still ≤ the G-OPT latency (greedy classes are always in the branch set).
+pub fn solve_opt<S: WakeSchedule>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    Searcher::new(topo, wake, config, BranchRule::MaximalSets).run(source)
+}
+
+/// Memo entry: either the exact remaining delay (with the chosen sender
+/// set), or a proven lower bound on it.
+enum MemoEntry {
+    Exact { rem: Slot, choice: Vec<NodeId> },
+    LowerBound(Slot),
+}
+
+/// Sentinel budget for exhaustive mode: effectively infinite but with
+/// headroom against overflow in `budget + t` arithmetic.
+const INF_BUDGET: Slot = Slot::MAX / 4;
+
+struct Searcher<'a, S: WakeSchedule> {
+    topo: &'a Topology,
+    wake: &'a S,
+    config: &'a SearchConfig,
+    rule: BranchRule,
+    memo: HashMap<(u64, Slot), MemoEntry>,
+    stats: SearchStats,
+    trace: SearchTrace,
+}
+
+impl<'a, S: WakeSchedule> Searcher<'a, S> {
+    fn new(topo: &'a Topology, wake: &'a S, config: &'a SearchConfig, rule: BranchRule) -> Self {
+        Searcher {
+            topo,
+            wake,
+            config,
+            rule,
+            memo: HashMap::new(),
+            stats: SearchStats::default(),
+            trace: SearchTrace::default(),
+        }
+    }
+
+    fn run(mut self, source: NodeId) -> SearchOutcome {
+        assert!(source.idx() < self.topo.len(), "source out of range");
+        let n = self.topo.len();
+        let t_s = self.wake.next_send(source.idx(), self.config.start_from);
+
+        let mut w0 = NodeSet::new(n);
+        w0.insert(source.idx());
+
+        if w0.is_full() {
+            // Single-node network: nothing to schedule.
+            return SearchOutcome {
+                schedule: Schedule {
+                    source,
+                    start: t_s,
+                    entries: vec![],
+                    receive_slot: vec![t_s; n],
+                },
+                latency: 0,
+                exact: true,
+                stats: self.stats,
+                trace: self.config.collect_trace.then(|| self.trace.clone()),
+            };
+        }
+
+        // Seed the budget with an achievable pipeline schedule; it doubles
+        // as the fallback when the state cap aborts the search.
+        let seed = run_pipeline(
+            self.topo,
+            source,
+            self.wake,
+            &mut MaxReceiversSelector,
+            &PipelineConfig {
+                start_from: self.config.start_from,
+            },
+        );
+        let budget = if self.config.exhaustive {
+            INF_BUDGET
+        } else {
+            seed.latency()
+        };
+
+        let (schedule, fell_back) = match self.dfs(&w0, t_s, budget) {
+            Some(rem) => {
+                let schedule = self.reconstruct(source, t_s, &w0);
+                debug_assert_eq!(schedule.latency(), rem);
+                (schedule, false)
+            }
+            // The search found nothing within the seeded budget: either the
+            // state cap aborted it, or (beam OPT only) enumeration caps cut
+            // every path that could match the greedy seed. The seed itself
+            // is a valid schedule either way.
+            None => (seed, true),
+        };
+        let exact = !fell_back
+            && !self.stats.state_cap_hit
+            && (self.rule == BranchRule::GreedyClasses || self.stats.truncated_enumerations == 0);
+        SearchOutcome {
+            latency: schedule.latency(),
+            schedule,
+            exact,
+            stats: self.stats.clone(),
+            trace: self.config.collect_trace.then(|| self.trace.clone()),
+        }
+    }
+
+    /// The branch colors of a state, most promising first. Each branch is a
+    /// conflict-free sender set among the awake candidates.
+    fn branches(&mut self, informed: &NodeSet, candidates: &[NodeId]) -> Vec<Vec<NodeId>> {
+        let classes = greedy_coloring_of_candidates(self.topo, informed, candidates);
+        match self.rule {
+            BranchRule::GreedyClasses => classes,
+            BranchRule::MaximalSets => {
+                let uninformed = informed.complement();
+                let cg = ConflictGraph::build(self.topo, candidates, &uninformed);
+                let outcome = maximal_conflict_free_sets(&cg, self.config.branch_cap);
+                if outcome.truncated {
+                    self.stats.truncated_enumerations += 1;
+                }
+                let mut sets: Vec<Vec<NodeId>> = outcome
+                    .sets
+                    .iter()
+                    .map(|idxs| {
+                        let mut v: Vec<NodeId> = idxs.iter().map(|&i| cg.node(i)).collect();
+                        v.sort_unstable();
+                        v
+                    })
+                    .collect();
+                // Guarantee OPT ⊆-dominates G-OPT: extend each greedy class
+                // to a maximal set and include it.
+                for class in &classes {
+                    let ext = self.extend_to_maximal(&cg, class);
+                    sets.push(ext);
+                }
+                sets.sort();
+                sets.dedup();
+                // Most new coverage first → tight budgets early.
+                sets.sort_by_key(|set| {
+                    std::cmp::Reverse(
+                        set.iter()
+                            .map(|&u| self.topo.neighbor_set(u).difference_len(informed))
+                            .sum::<usize>(),
+                    )
+                });
+                sets
+            }
+        }
+    }
+
+    /// Greedily extends a conflict-free set to a maximal one (candidate
+    /// order = conflict-graph order, which is deterministic).
+    fn extend_to_maximal(&self, cg: &ConflictGraph, base: &[NodeId]) -> Vec<NodeId> {
+        let mut members: Vec<usize> = base
+            .iter()
+            .map(|u| {
+                cg.candidates()
+                    .iter()
+                    .position(|c| c == u)
+                    .expect("class member is a candidate")
+            })
+            .collect();
+        for i in 0..cg.len() {
+            if members.contains(&i) {
+                continue;
+            }
+            if members.iter().all(|&m| !cg.conflict(i, m)) {
+                members.push(i);
+            }
+        }
+        let mut out: Vec<NodeId> = members.into_iter().map(|i| cg.node(i)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Returns the minimum remaining delay (slots from `t` through the last
+    /// transmission, inclusive) if it is ≤ `budget`, else `None`. Exact
+    /// values and the corresponding first advance are memoized.
+    fn dfs(&mut self, informed: &NodeSet, t: Slot, budget: Slot) -> Option<Slot> {
+        debug_assert!(!informed.is_full());
+        let phase = t % self.wake.period();
+        let key = (informed.fingerprint(), phase);
+
+        match self.memo.get(&key) {
+            Some(MemoEntry::Exact { rem, .. }) => {
+                self.stats.memo_hits += 1;
+                return (*rem <= budget).then_some(*rem);
+            }
+            Some(MemoEntry::LowerBound(lb)) if *lb > budget => {
+                self.stats.memo_hits += 1;
+                self.stats.pruned += 1;
+                return None;
+            }
+            _ => {}
+        }
+
+        if self.stats.states >= self.config.max_states {
+            self.stats.state_cap_hit = true;
+            return None;
+        }
+        self.stats.states += 1;
+
+        // Admissible lower bound: farthest uninformed node in hops.
+        let lb = remaining_hops_lower_bound(self.topo, informed);
+        if lb > budget {
+            self.stats.pruned += 1;
+            self.bump_lower_bound(key, lb);
+            return None;
+        }
+
+        let candidates = eligible_awake_senders(self.topo, informed, self.wake, t);
+        if candidates.is_empty() {
+            // Duty-cycle wait: jump to the earliest wake-up among eligible
+            // senders. The remaining delay is the wait plus the remainder.
+            let eligible = eligible_senders(self.topo, informed);
+            assert!(
+                !eligible.is_empty(),
+                "broadcast cannot complete: disconnected topology"
+            );
+            let t_next = eligible
+                .iter()
+                .map(|u| self.wake.next_send(u.idx(), t + 1))
+                .min()
+                .expect("non-empty");
+            let wait = t_next - t;
+            if self.config.collect_trace {
+                self.trace.states.push(TraceState {
+                    informed: informed.to_vec(),
+                    slot: t,
+                    options: vec![],
+                    chosen: None,
+                    jumped_to: Some(t_next),
+                });
+            }
+            if wait + 1 > budget {
+                self.stats.pruned += 1;
+                self.bump_lower_bound(key, wait + 1);
+                return None;
+            }
+            let sub = self.dfs(informed, t_next, budget - wait);
+            return match sub {
+                Some(r) => {
+                    // Memoize through the wait so reconstruction can replay.
+                    self.memo.insert(
+                        key,
+                        MemoEntry::Exact {
+                            rem: wait + r,
+                            choice: vec![],
+                        },
+                    );
+                    Some(wait + r)
+                }
+                None => {
+                    self.bump_lower_bound(key, wait + 1);
+                    None
+                }
+            };
+        }
+
+        let branches = self.branches(informed, &candidates);
+        debug_assert!(!branches.is_empty());
+
+        let trace_idx = if self.config.collect_trace {
+            self.trace.states.push(TraceState {
+                informed: informed.to_vec(),
+                slot: t,
+                options: branches
+                    .iter()
+                    .map(|b| TraceOption {
+                        class: b.clone(),
+                        m_value: None,
+                    })
+                    .collect(),
+                chosen: None,
+                jumped_to: None,
+            });
+            Some(self.trace.states.len() - 1)
+        } else {
+            None
+        };
+
+        let mut best: Option<(Slot, Vec<NodeId>, usize)> = None;
+        let mut local_budget = budget;
+        for (bi, senders) in branches.iter().enumerate() {
+            let mut next = informed.clone();
+            for &u in senders {
+                next.union_with(self.topo.neighbor_set(u));
+            }
+            let rem = if next.is_full() {
+                Some(1)
+            } else if local_budget == 0 {
+                self.stats.pruned += 1;
+                None
+            } else {
+                self.dfs(&next, t + 1, local_budget - 1).map(|r| r + 1)
+            };
+            if let Some(r) = rem {
+                if let Some(ti) = trace_idx {
+                    // Completion slot of this branch: t_e = t + rem − 1.
+                    self.trace.states[ti].options[bi].m_value = Some(t + r - 1);
+                }
+                let better = best.as_ref().is_none_or(|(b, _, _)| r < *b);
+                if better {
+                    best = Some((r, senders.clone(), bi));
+                    // Only strictly better continuations are interesting,
+                    // unless exhaustive mode wants every exact value.
+                    if !self.config.exhaustive {
+                        local_budget = r - 1;
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((rem, choice, bi)) => {
+                if let Some(ti) = trace_idx {
+                    self.trace.states[ti].chosen = Some(bi);
+                }
+                self.memo.insert(key, MemoEntry::Exact { rem, choice });
+                Some(rem)
+            }
+            None => {
+                self.bump_lower_bound(key, budget + 1);
+                None
+            }
+        }
+    }
+
+    /// Records `lb` as a proven lower bound, keeping the strongest one.
+    fn bump_lower_bound(&mut self, key: (u64, Slot), lb: Slot) {
+        match self.memo.get_mut(&key) {
+            Some(MemoEntry::Exact { .. }) => {}
+            Some(MemoEntry::LowerBound(old)) => {
+                if lb > *old {
+                    *old = lb;
+                }
+            }
+            None => {
+                self.memo.insert(key, MemoEntry::LowerBound(lb));
+            }
+        }
+    }
+
+    /// Replays the memoized choices from the root into a schedule.
+    fn reconstruct(&self, source: NodeId, t_s: Slot, w0: &NodeSet) -> Schedule {
+        let n = self.topo.len();
+        let mut informed = w0.clone();
+        let mut receive_slot = vec![t_s; n];
+        let mut entries = Vec::new();
+        let mut t = t_s;
+        while !informed.is_full() {
+            let key = (informed.fingerprint(), t % self.wake.period());
+            let entry = match self.memo.get(&key) {
+                Some(MemoEntry::Exact { choice, .. }) => choice,
+                _ => unreachable!("optimal path must be memoized exactly"),
+            };
+            if entry.is_empty() {
+                // A recorded wait: jump to the next wake-up among eligible
+                // senders (same computation as the search).
+                let eligible = eligible_senders(self.topo, &informed);
+                t = eligible
+                    .iter()
+                    .map(|u| self.wake.next_send(u.idx(), t + 1))
+                    .min()
+                    .expect("non-empty");
+                continue;
+            }
+            let mut advance = NodeSet::new(n);
+            for &u in entry {
+                advance.union_with(self.topo.neighbor_set(u));
+            }
+            advance.difference_with(&informed);
+            for w in advance.iter() {
+                receive_slot[w] = t;
+            }
+            informed.union_with(&advance);
+            entries.push(ScheduleEntry {
+                slot: t,
+                senders: entry.clone(),
+            });
+            t += 1;
+        }
+        Schedule {
+            source,
+            start: t_s,
+            entries,
+            receive_slot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_dutycycle::{AlwaysAwake, ExplicitSchedule};
+    use wsn_topology::{deploy, fixtures};
+
+    #[test]
+    fn gopt_fig2a_matches_table_ii() {
+        let f = fixtures::fig2a();
+        let out = solve_gopt(&f.topo, f.source, &AlwaysAwake, &SearchConfig::default());
+        assert!(out.exact);
+        assert_eq!(out.latency, 2, "Table II: P(A) = 2");
+        out.schedule.verify(&f.topo, &AlwaysAwake).unwrap();
+        // The optimal first-hop choice is node "2" (covers 4 and 5).
+        assert_eq!(out.schedule.entries[1].senders, vec![f.id("2")]);
+    }
+
+    #[test]
+    fn gopt_fig1_matches_table_iii() {
+        let f = fixtures::fig1();
+        let out = solve_gopt(&f.topo, f.source, &AlwaysAwake, &SearchConfig::default());
+        assert!(out.exact);
+        assert_eq!(out.latency, 3, "Table III: P(A) = 3");
+        out.schedule.verify(&f.topo, &AlwaysAwake).unwrap();
+        // Table III's optimal second advance launches node 1's color.
+        assert_eq!(out.schedule.entries[1].senders, vec![f.id("1")]);
+        // And the third advance is {0, 4} covering {5,6,7,8,9}.
+        assert_eq!(
+            out.schedule.entries[2].senders,
+            vec![f.id("0"), f.id("4")]
+        );
+    }
+
+    #[test]
+    fn opt_never_worse_than_gopt() {
+        for seed in 0..4u64 {
+            let (topo, src) = deploy::SyntheticDeployment::paper(60).sample(seed);
+            let g = solve_gopt(&topo, src, &AlwaysAwake, &SearchConfig::default());
+            let o = solve_opt(&topo, src, &AlwaysAwake, &SearchConfig::default());
+            assert!(
+                o.latency <= g.latency,
+                "seed {seed}: OPT {} > G-OPT {}",
+                o.latency,
+                g.latency
+            );
+            o.schedule.verify(&topo, &AlwaysAwake).unwrap();
+            g.schedule.verify(&topo, &AlwaysAwake).unwrap();
+        }
+    }
+
+    #[test]
+    fn table_iv_duty_cycle_trace() {
+        // Figure 2(e) under the Table IV wake schedule: t_s = 2, the
+        // optimum completes at slot 4 (P(A) = 4 in the paper's absolute
+        // numbering; elapsed latency 3).
+        let f = fixtures::fig2a();
+        let wake = ExplicitSchedule::new(
+            vec![vec![2], vec![4, 13], vec![4], vec![9], vec![9]],
+            20,
+        );
+        let out = solve_gopt(
+            &f.topo,
+            f.source,
+            &wake,
+            &SearchConfig {
+                start_from: 1,
+                collect_trace: true,
+                exhaustive: true,
+                ..SearchConfig::default()
+            },
+        );
+        assert_eq!(out.schedule.start, 2);
+        assert_eq!(out.schedule.completion_slot(), 4, "Table IV: P(A) = 4");
+        out.schedule.verify(&f.topo, &wake).unwrap();
+
+        // The alternative branch (selecting node "3" at slot 4) must defer
+        // completion to slot 13 = r + 3, as the paper's last row shows.
+        let trace = out.trace.unwrap();
+        let slot4 = trace
+            .states
+            .iter()
+            .find(|s| s.slot == 4 && s.options.len() == 2)
+            .expect("the two-color state at slot 4");
+        assert_eq!(slot4.options[0].m_value, Some(4));
+        assert_eq!(slot4.options[1].m_value, Some(13));
+        assert_eq!(slot4.chosen, Some(0));
+        // And the N/A row at slot 3 is present with a jump to 4.
+        assert!(trace
+            .states
+            .iter()
+            .any(|s| s.slot == 3 && s.options.is_empty() && s.jumped_to == Some(4)));
+    }
+
+    #[test]
+    fn exhaustive_trace_records_all_branch_values() {
+        let f = fixtures::fig2a();
+        let out = solve_gopt(
+            &f.topo,
+            f.source,
+            &AlwaysAwake,
+            &SearchConfig {
+                collect_trace: true,
+                exhaustive: true,
+                ..SearchConfig::default()
+            },
+        );
+        let trace = out.trace.unwrap();
+        // Table II state M({1,2,3},2): options C1={2} with M=2, C2={3}
+        // with M=3.
+        let st = trace
+            .states
+            .iter()
+            .find(|s| s.informed.len() == 3 && s.slot == 2)
+            .expect("state with W = {1,2,3}");
+        assert_eq!(st.options.len(), 2);
+        assert_eq!(st.options[0].m_value, Some(2));
+        assert_eq!(st.options[1].m_value, Some(3));
+        assert_eq!(st.chosen, Some(0));
+    }
+
+    #[test]
+    fn search_on_single_node() {
+        let topo =
+            wsn_topology::Topology::unit_disk(vec![wsn_geom::Point::new(0.0, 0.0)], 1.0);
+        let out = solve_gopt(&topo, NodeId(0), &AlwaysAwake, &SearchConfig::default());
+        assert_eq!(out.latency, 0);
+        assert!(out.exact);
+    }
+
+    #[test]
+    fn state_cap_degrades_gracefully() {
+        let (topo, src) = deploy::SyntheticDeployment::paper(80).sample(1);
+        let out = solve_gopt(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &SearchConfig {
+                max_states: 1,
+                ..SearchConfig::default()
+            },
+        );
+        // Still a valid schedule (the seeded pipeline budget is achievable
+        // and reconstruction follows whatever was memoized)…
+        out.schedule.verify(&topo, &AlwaysAwake).unwrap();
+        // …but flagged inexact.
+        assert!(!out.exact);
+        assert!(out.stats.state_cap_hit);
+    }
+}

@@ -1,0 +1,101 @@
+//! Search traces: the raw material for regenerating Tables II–IV.
+//!
+//! The paper's tables list, per evaluated task `M(W, t)`: the greedy colors
+//! `C_1 … C_λ`, the `M` value considered for each color, the selected
+//! color, and the advance. [`SearchTrace`] records exactly that during a
+//! search (in first-visit order, which matches the tables' task ordering).
+
+use wsn_dutycycle::Slot;
+use wsn_topology::NodeId;
+
+/// One branch considered at a state.
+#[derive(Clone, Debug)]
+pub struct TraceOption {
+    /// The color (sender set) of this branch.
+    pub class: Vec<NodeId>,
+    /// The evaluated time counter `M(W + C, t + 1)` — the completion slot
+    /// `t_e` of the best continuation — or `None` when branch-and-bound
+    /// pruned the branch before an exact value was established.
+    pub m_value: Option<Slot>,
+}
+
+/// One evaluated state `M(W, t)`.
+#[derive(Clone, Debug)]
+pub struct TraceState {
+    /// The informed set, ascending node ids.
+    pub informed: Vec<usize>,
+    /// The slot of the evaluation.
+    pub slot: Slot,
+    /// Considered branches in color order. Empty together with a set
+    /// `jumped_to` represents the paper's `N/A → φ` rows (no awake
+    /// candidate).
+    pub options: Vec<TraceOption>,
+    /// Index of the branch achieving the minimum, if the state completed.
+    pub chosen: Option<usize>,
+    /// For duty-cycle states with no awake candidates: the slot the search
+    /// jumped to.
+    pub jumped_to: Option<Slot>,
+}
+
+/// A full search trace in first-visit (preorder) order.
+#[derive(Clone, Debug, Default)]
+pub struct SearchTrace {
+    /// Evaluated states.
+    pub states: Vec<TraceState>,
+}
+
+impl SearchTrace {
+    /// Renders the trace as a Table II/III/IV-style text table, using
+    /// `label` to map node ids to the paper's names.
+    pub fn render(&self, label: &dyn Fn(NodeId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<38} {:<22} {:<30} {:<10} A(W,t)",
+            "Task M(W,t)", "colors C1..Cλ", "M in consideration", "selected"
+        );
+        for st in &self.states {
+            let w_str = format!(
+                "M({{{}}}, {})",
+                st.informed
+                    .iter()
+                    .map(|&u| label(NodeId(u as u32)))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                st.slot
+            );
+            if st.options.is_empty() {
+                let jump = st
+                    .jumped_to
+                    .map(|t| format!("jump to {t}"))
+                    .unwrap_or_else(|| "-".into());
+                let _ = writeln!(out, "{:<38} {:<22} {:<30} {:<10} φ ({jump})", w_str, "N/A", "-", "N/A");
+                continue;
+            }
+            for (i, opt) in st.options.iter().enumerate() {
+                let colors = format!(
+                    "C{}: {{{}}}",
+                    i + 1,
+                    opt.class
+                        .iter()
+                        .map(|&u| label(u))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                let m = opt
+                    .m_value
+                    .map(|v| format!("M(·,{}) = {}", st.slot + 1, v))
+                    .unwrap_or_else(|| "pruned".into());
+                let selected = if st.chosen == Some(i) {
+                    format!("C{}", i + 1)
+                } else {
+                    String::new()
+                };
+                let first_col = if i == 0 { w_str.clone() } else { String::new() };
+                let _ = writeln!(out, "{:<38} {:<22} {:<30} {:<10}", first_col, colors, m, selected);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,131 @@
+//! Hand-written wake schedules for worked examples and tests.
+
+use crate::{Slot, WakeSchedule};
+
+/// An explicit periodic schedule: each node's sending slots within one
+/// period are listed outright.
+///
+/// Used to reproduce Table IV, where the paper fixes specific wake-up
+/// times (node 1 at slot 2, nodes 2 and 3 at slot 4, node 2 again at
+/// `r + 3`, …) rather than drawing them pseudo-randomly.
+#[derive(Clone, Debug)]
+pub struct ExplicitSchedule {
+    /// Sorted sending slots of each node within `[0, period)`.
+    slots: Vec<Vec<Slot>>,
+    period: Slot,
+    rate: f64,
+}
+
+impl ExplicitSchedule {
+    /// Builds a schedule with the given per-node slot lists and period.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the period is zero, a slot is outside `[0, period)`, or
+    /// a node has no sending slot (it could never relay).
+    pub fn new(mut slots: Vec<Vec<Slot>>, period: Slot) -> Self {
+        assert!(period > 0, "period must be positive");
+        for (u, s) in slots.iter_mut().enumerate() {
+            assert!(!s.is_empty(), "node {u} has no sending slot");
+            s.sort_unstable();
+            s.dedup();
+            assert!(
+                *s.last().unwrap() < period,
+                "node {u} has a slot beyond the period"
+            );
+        }
+        let total: usize = slots.iter().map(Vec::len).sum();
+        let rate = (period as f64 * slots.len() as f64) / total as f64;
+        ExplicitSchedule {
+            slots,
+            period,
+            rate,
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl WakeSchedule for ExplicitSchedule {
+    fn can_send(&self, u: usize, slot: Slot) -> bool {
+        self.slots[u].binary_search(&(slot % self.period)).is_ok()
+    }
+
+    fn next_send(&self, u: usize, from: Slot) -> Slot {
+        let base = (from / self.period) * self.period;
+        let rem = from % self.period;
+        match self.slots[u].iter().find(|&&s| s >= rem) {
+            Some(&s) => base + s,
+            // Wrap into the next period.
+            None => base + self.period + self.slots[u][0],
+        }
+    }
+
+    fn period(&self) -> Slot {
+        self.period
+    }
+
+    fn cycle_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_and_next() {
+        let s = ExplicitSchedule::new(vec![vec![2, 7], vec![0]], 10);
+        assert!(s.can_send(0, 2));
+        assert!(s.can_send(0, 7));
+        assert!(!s.can_send(0, 3));
+        assert_eq!(s.next_send(0, 0), 2);
+        assert_eq!(s.next_send(0, 3), 7);
+        assert_eq!(s.next_send(0, 8), 12, "wraps into next period");
+        assert_eq!(s.next_send(1, 1), 10);
+    }
+
+    #[test]
+    fn periodicity() {
+        let s = ExplicitSchedule::new(vec![vec![4]], 10);
+        assert!(s.can_send(0, 4));
+        assert!(s.can_send(0, 14));
+        assert!(s.can_send(0, 104));
+        assert_eq!(s.next_send(0, 15), 24);
+    }
+
+    #[test]
+    fn cycle_rate_reflects_slot_counts() {
+        // Two nodes, period 10: one slot + four slots → 20 / 5 = 4.
+        let s = ExplicitSchedule::new(vec![vec![0], vec![1, 3, 5, 7]], 10);
+        assert_eq!(s.cycle_rate(), 4.0);
+    }
+
+    #[test]
+    fn cwt_after_respects_strict_future() {
+        let s = ExplicitSchedule::new(vec![vec![2], vec![2]], 10);
+        // Node 1 receives in slot 2 → it cannot relay until slot 12.
+        assert_eq!(s.cwt_after(1, 2), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sending slot")]
+    fn empty_slot_list_rejected() {
+        ExplicitSchedule::new(vec![vec![]], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the period")]
+    fn out_of_period_slot_rejected() {
+        ExplicitSchedule::new(vec![vec![10]], 10);
+    }
+}

@@ -1,0 +1,159 @@
+//! Convex hull via Andrew's monotone chain (paper reference [3]).
+//!
+//! Hull vertices seed the network-edge detection of Algorithm 2: the
+//! boundary construction walks inward from nodes "located on the hull of the
+//! entire network" (§IV-E).
+
+use crate::Point;
+
+/// Computes the convex hull of `points`, returning **indices** into the
+/// input slice in counter-clockwise order starting from the lexicographically
+/// smallest point. Collinear points on hull edges are excluded.
+///
+/// Degenerate inputs: fewer than three distinct points return all distinct
+/// point indices (0, 1, or 2 of them).
+///
+/// # Examples
+///
+/// ```
+/// use wsn_geom::{convex_hull, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0), // interior
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull, vec![0, 1, 3, 4]);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .x
+            .total_cmp(&points[b].x)
+            .then(points[a].y.total_cmp(&points[b].y))
+    });
+    // Drop exact duplicates so they cannot create zero-length hull edges.
+    order.dedup_by(|&mut a, &mut b| points[a] == points[b]);
+
+    let n = order.len();
+    if n <= 2 {
+        return order;
+    }
+
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * n);
+    // Lower chain.
+    for &i in &order {
+        while hull.len() >= 2
+            && Point::cross(
+                &points[hull[hull.len() - 2]],
+                &points[hull[hull.len() - 1]],
+                &points[i],
+            ) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    // Upper chain.
+    let lower_len = hull.len() + 1;
+    for &i in order.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && Point::cross(
+                &points[hull[hull.len() - 2]],
+                &points[hull[hull.len() - 1]],
+                &points[i],
+            ) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull.pop(); // final point repeats the first
+    hull
+}
+
+/// Signed area of the polygon given by `vertices` (indices into `points`),
+/// positive when counter-clockwise. Used to sanity-check hull orientation
+/// and to estimate covered area in deployment diagnostics.
+pub fn polygon_area(points: &[Point], vertices: &[usize]) -> f64 {
+    if vertices.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for k in 0..vertices.len() {
+        let p = &points[vertices[k]];
+        let q = &points[vertices[(k + 1) % vertices.len()]];
+        acc += p.x * q.y - q.x * p.y;
+    }
+    acc / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_hull() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull, vec![0, 1, 2, 3]);
+        assert!((polygon_area(&pts, &hull) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_points_on_edges_excluded() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0), // on bottom edge
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 2.0)]), vec![0]);
+        let two = [Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&two), vec![0, 1]);
+        // All-duplicate points collapse to one representative.
+        let dup = [Point::new(3.0, 3.0); 4];
+        assert_eq!(convex_hull(&dup).len(), 1);
+    }
+
+    #[test]
+    fn all_collinear_returns_extremes_without_panic() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, i as f64)).collect();
+        let hull = convex_hull(&pts);
+        // A fully collinear set has no 2-D hull; the chain keeps the two
+        // extreme points.
+        assert!(hull.contains(&0) && hull.contains(&4));
+        assert!(hull.len() >= 2);
+        assert_eq!(polygon_area(&pts, &hull), 0.0);
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(5.0, 5.0),
+            Point::new(1.0, 4.0),
+            Point::new(2.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert!(polygon_area(&pts, &hull) > 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! 2-D geometry substrate for WSN topologies.
+//!
+//! The paper's deployment model places nodes in a plane and derives both the
+//! unit-disk graph (`wsn-topology`) and the E-model's directional structure
+//! from plane geometry:
+//!
+//! * [`Point`] — node positions, distances;
+//! * [`convex_hull`] — Andrew's monotone chain, used to seed network-edge
+//!   detection (the paper's reference \[3\]);
+//! * [`Quadrant`] — the quadrant partition `Q_1(u)..Q_4(u)` around a node,
+//!   which indexes the E-model 4-tuple (§IV-E);
+//! * [`max_angular_gap`] — the largest empty angular sector among a node's
+//!   neighbor bearings, used by the boundary-construction step (the paper's
+//!   reference \[6\]): a node whose neighbors leave a wide empty sector
+//!   faces open space and lies on the network edge.
+
+mod hull;
+mod point;
+mod quadrant;
+
+pub use hull::{convex_hull, polygon_area};
+pub use point::{Point, Rect};
+pub use quadrant::{max_angular_gap, Quadrant};

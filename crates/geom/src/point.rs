@@ -1,0 +1,154 @@
+//! Points and axis-aligned rectangles.
+
+/// A point in the deployment plane (units: feet, matching §V-A).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance — preferred in radius tests to avoid the
+    /// square root on the hot UDG-construction path.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Component-wise subtraction as a vector `(dx, dy)`.
+    #[inline]
+    pub fn delta(&self, origin: &Point) -> (f64, f64) {
+        (self.x - origin.x, self.y - origin.y)
+    }
+
+    /// Cross product of `(b - a) × (c - a)`; positive for a counter-clockwise
+    /// turn. The primitive behind hull construction.
+    #[inline]
+    pub fn cross(a: &Point, b: &Point, c: &Point) -> f64 {
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+
+    /// Bearing of `self` as seen from `origin`, in radians within `[0, 2π)`.
+    #[inline]
+    pub fn bearing_from(&self, origin: &Point) -> f64 {
+        let (dx, dy) = self.delta(origin);
+        let a = dy.atan2(dx);
+        if a < 0.0 {
+            a + std::f64::consts::TAU
+        } else {
+            a
+        }
+    }
+}
+
+/// An axis-aligned rectangle, used as the deployment region.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Rectangle spanning `[0,0]` to `(w, h)`.
+    pub const fn with_size(w: f64, h: f64) -> Self {
+        Rect {
+            min: Point::new(0.0, 0.0),
+            max: Point::new(w, h),
+        }
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area, for density computations (nodes per sq ft in §V-A).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// `true` when the point lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let ccw = Point::new(1.0, 1.0);
+        let cw = Point::new(1.0, -1.0);
+        let collinear = Point::new(2.0, 0.0);
+        assert!(Point::cross(&a, &b, &ccw) > 0.0);
+        assert!(Point::cross(&a, &b, &cw) < 0.0);
+        assert_eq!(Point::cross(&a, &b, &collinear), 0.0);
+    }
+
+    #[test]
+    fn bearings_quadrants() {
+        let o = Point::new(0.0, 0.0);
+        assert!((Point::new(1.0, 0.0).bearing_from(&o) - 0.0).abs() < 1e-12);
+        assert!(
+            (Point::new(0.0, 1.0).bearing_from(&o) - std::f64::consts::FRAC_PI_2).abs() < 1e-12
+        );
+        let b = Point::new(0.0, -1.0).bearing_from(&o);
+        assert!((b - 3.0 * std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((0.0..std::f64::consts::TAU).contains(&b));
+    }
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::with_size(50.0, 50.0);
+        assert_eq!(r.area(), 2500.0);
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(50.0, 50.0)));
+        assert!(!r.contains(&Point::new(50.1, 0.0)));
+        assert_eq!(r.center(), Point::new(25.0, 25.0));
+    }
+}

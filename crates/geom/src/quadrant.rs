@@ -1,0 +1,168 @@
+//! Quadrant partition and angular-gap analysis.
+//!
+//! The E-model stores one delay estimate per quadrant `Q_1(u)..Q_4(u)`
+//! around each node (Table I: "Q_i(u): i-th quadrant with u as the origin").
+//! Boundary construction additionally needs the widest empty angular sector
+//! among a node's neighbor bearings: a large gap means the node faces open
+//! space and lies on the network edge (paper reference [6]).
+
+use crate::Point;
+
+/// One of the four axis-aligned quadrants around an origin node.
+///
+/// Boundary convention (so that every non-origin point belongs to exactly
+/// one quadrant): `Q1 = x > 0, y ≥ 0`, `Q2 = x ≤ 0, y > 0`,
+/// `Q3 = x < 0, y ≤ 0`, `Q4 = x ≥ 0, y < 0` — each axis half-line is
+/// assigned to the quadrant it bounds counter-clockwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+}
+
+impl Quadrant {
+    /// All four quadrants in index order.
+    pub const ALL: [Quadrant; 4] = [Quadrant::Q1, Quadrant::Q2, Quadrant::Q3, Quadrant::Q4];
+
+    /// Zero-based index (`Q1 → 0` … `Q4 → 3`), used to address the 4-tuple.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Quadrant::Q1 => 0,
+            Quadrant::Q2 => 1,
+            Quadrant::Q3 => 2,
+            Quadrant::Q4 => 3,
+        }
+    }
+
+    /// Quadrant from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline]
+    pub const fn from_index(i: usize) -> Quadrant {
+        match i {
+            0 => Quadrant::Q1,
+            1 => Quadrant::Q2,
+            2 => Quadrant::Q3,
+            3 => Quadrant::Q4,
+            _ => panic!("quadrant index out of range"),
+        }
+    }
+
+    /// Classifies `p` relative to `origin`. Returns `None` when the points
+    /// coincide (a node is in no quadrant of itself).
+    #[inline]
+    pub fn of(origin: &Point, p: &Point) -> Option<Quadrant> {
+        let (dx, dy) = p.delta(origin);
+        if dx == 0.0 && dy == 0.0 {
+            return None;
+        }
+        Some(if dx > 0.0 && dy >= 0.0 {
+            Quadrant::Q1
+        } else if dx <= 0.0 && dy > 0.0 {
+            Quadrant::Q2
+        } else if dx < 0.0 && dy <= 0.0 {
+            Quadrant::Q3
+        } else {
+            Quadrant::Q4
+        })
+    }
+}
+
+/// Largest empty angular sector (radians) among the bearings of `neighbors`
+/// as seen from `origin`.
+///
+/// Returns `TAU` (the full circle) when there are no neighbors. A node whose
+/// gap is at least the boundary threshold (the topology crate uses 120°)
+/// is treated as facing open space.
+pub fn max_angular_gap(origin: &Point, neighbors: &[Point]) -> f64 {
+    let mut bearings: Vec<f64> = neighbors
+        .iter()
+        .filter(|p| **p != *origin)
+        .map(|p| p.bearing_from(origin))
+        .collect();
+    if bearings.is_empty() {
+        return std::f64::consts::TAU;
+    }
+    bearings.sort_by(f64::total_cmp);
+    let mut max_gap = std::f64::consts::TAU - bearings[bearings.len() - 1] + bearings[0];
+    for w in bearings.windows(2) {
+        max_gap = max_gap.max(w[1] - w[0]);
+    }
+    max_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    #[test]
+    fn quadrant_classification_covers_plane() {
+        let o = Point::new(10.0, 10.0);
+        assert_eq!(Quadrant::of(&o, &Point::new(11.0, 11.0)), Some(Quadrant::Q1));
+        assert_eq!(Quadrant::of(&o, &Point::new(9.0, 11.0)), Some(Quadrant::Q2));
+        assert_eq!(Quadrant::of(&o, &Point::new(9.0, 9.0)), Some(Quadrant::Q3));
+        assert_eq!(Quadrant::of(&o, &Point::new(11.0, 9.0)), Some(Quadrant::Q4));
+        assert_eq!(Quadrant::of(&o, &o), None);
+    }
+
+    #[test]
+    fn axis_points_have_unique_quadrants() {
+        let o = Point::new(0.0, 0.0);
+        assert_eq!(Quadrant::of(&o, &Point::new(1.0, 0.0)), Some(Quadrant::Q1)); // +x
+        assert_eq!(Quadrant::of(&o, &Point::new(0.0, 1.0)), Some(Quadrant::Q2)); // +y
+        assert_eq!(Quadrant::of(&o, &Point::new(-1.0, 0.0)), Some(Quadrant::Q3)); // -x
+        assert_eq!(Quadrant::of(&o, &Point::new(0.0, -1.0)), Some(Quadrant::Q4)); // -y
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for q in Quadrant::ALL {
+            assert_eq!(Quadrant::from_index(q.index()), q);
+        }
+    }
+
+    #[test]
+    fn angular_gap_no_neighbors_is_full_circle() {
+        assert_eq!(max_angular_gap(&Point::new(0.0, 0.0), &[]), TAU);
+    }
+
+    #[test]
+    fn angular_gap_single_neighbor_is_full_circle() {
+        let gap = max_angular_gap(&Point::new(0.0, 0.0), &[Point::new(1.0, 0.0)]);
+        assert!((gap - TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_gap_orthogonal_cross() {
+        // Neighbors at 0°, 90°, 180°, 270° → max gap 90°.
+        let o = Point::new(0.0, 0.0);
+        let ns = [
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, -1.0),
+        ];
+        assert!((max_angular_gap(&o, &ns) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_gap_half_plane() {
+        // Neighbors only toward +x and +y → gap from 90° around to 360° = 270°.
+        let o = Point::new(0.0, 0.0);
+        let ns = [Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+        assert!((max_angular_gap(&o, &ns) - 1.5 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coincident_neighbor_ignored() {
+        let o = Point::new(2.0, 2.0);
+        let gap = max_angular_gap(&o, &[o, Point::new(3.0, 2.0)]);
+        assert!((gap - TAU).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,309 @@
+//! The unified scheduler registry and single-instance runner.
+
+use mlbs_core::{
+    bounds, run_pipeline, solve_gopt, solve_opt, EModel, EModelSelector, MaxReceiversSelector,
+    PipelineConfig, SearchConfig,
+};
+use wsn_baselines::{
+    schedule_cds_layered, schedule_layered, LayeredMode,
+};
+use wsn_dutycycle::{AlwaysAwake, Slot, WakeSchedule, WindowedRandom};
+use wsn_topology::{NodeId, Topology};
+
+/// Timing regime of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Regime {
+    /// Round-based synchronous system.
+    Sync,
+    /// Duty-cycle system with cycle rate `r` slots (the paper evaluates
+    /// `r = 10` and `r = 50`).
+    Duty { rate: u32 },
+}
+
+impl Regime {
+    /// Cycle rate (1 for the synchronous system).
+    pub fn rate(&self) -> u32 {
+        match self {
+            Regime::Sync => 1,
+            Regime::Duty { rate } => *rate,
+        }
+    }
+}
+
+/// Every scheduler the evaluation and the ablations exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// BFS-layered baseline: the 26-approximation (sync) / the
+    /// 17-approximation (duty-cycle), per §V-A.
+    Layered,
+    /// Layered with per-slot re-coloring (ablation: barrier kept, stale
+    /// coloring removed).
+    LayeredRecolor,
+    /// Fully rigid TDMA-like layered baseline (ablation: the weakest
+    /// plausible reading of the prior art).
+    LayeredPrecomputed,
+    /// CDS-restricted layered baseline (extension; sync only).
+    CdsLayered,
+    /// Pipelined greedy without global awareness (ablation: pipeline kept,
+    /// selection naive).
+    GreedyPipeline,
+    /// The paper's practical scheme: pipelined + E-model selection
+    /// (Eq. 10).
+    EModelPipeline,
+    /// The localized (distributed) protocol of wsn-distributed — the
+    /// paper's §VII future-work direction (extension).
+    Localized,
+    /// G-OPT (Eq. 7/8).
+    GOpt,
+    /// OPT (Eq. 5/6), possibly beam-limited by the search config.
+    Opt,
+}
+
+impl Algorithm {
+    /// Display name matching the paper's figure legends where applicable.
+    pub fn name(&self, regime: Regime) -> &'static str {
+        match (self, regime) {
+            (Algorithm::Layered, Regime::Sync) => "26-approx",
+            (Algorithm::Layered, Regime::Duty { .. }) => "17-approx",
+            (Algorithm::LayeredRecolor, _) => "layered-recolor",
+            (Algorithm::LayeredPrecomputed, _) => "layered-precomputed",
+            (Algorithm::CdsLayered, _) => "cds-layered",
+            (Algorithm::GreedyPipeline, _) => "greedy-pipeline",
+            (Algorithm::EModelPipeline, _) => "E-model",
+            (Algorithm::Localized, _) => "localized",
+            (Algorithm::GOpt, _) => "G-OPT",
+            (Algorithm::Opt, _) => "OPT",
+        }
+    }
+
+    /// The set the paper's Figures 3/4/6 plot.
+    pub fn paper_set() -> [Algorithm; 4] {
+        [
+            Algorithm::Layered,
+            Algorithm::Opt,
+            Algorithm::GOpt,
+            Algorithm::EModelPipeline,
+        ]
+    }
+}
+
+/// Metrics from one verified run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// End-to-end latency in rounds/slots (`t_e − t_s + 1`).
+    pub latency: Slot,
+    /// Number of transmissions.
+    pub transmissions: usize,
+    /// Source eccentricity of the instance (the `d` of the bounds).
+    pub eccentricity: u32,
+    /// `false` when a search hit a cap and returned a possibly suboptimal
+    /// schedule; `None` for non-search algorithms.
+    pub exact: Option<bool>,
+    /// Theorem 1 bound for this instance and regime.
+    pub opt_analysis: Slot,
+    /// The baseline's analytical bound for this instance and regime
+    /// (`26·d` sync, `17·k·d` duty).
+    pub baseline_bound: Slot,
+}
+
+/// Runs `algorithm` on one instance. The produced schedule is always passed
+/// through the independent verifier; a verification failure is a bug and
+/// panics.
+///
+/// `wake_seed` parameterizes the duty-cycle schedule (ignored for
+/// [`Regime::Sync`]); all algorithms given the same seed see the same
+/// wake-ups, which is what makes per-instance comparisons meaningful.
+pub fn run_instance(
+    topo: &Topology,
+    source: NodeId,
+    regime: Regime,
+    algorithm: Algorithm,
+    wake_seed: u64,
+    search: &SearchConfig,
+) -> RunResult {
+    match regime {
+        Regime::Sync => run_with(topo, source, regime, algorithm, &AlwaysAwake, search),
+        Regime::Duty { rate } => {
+            let wake = WindowedRandom::new(topo.len(), rate, wake_seed);
+            run_with(topo, source, regime, algorithm, &wake, search)
+        }
+    }
+}
+
+fn run_with<S: WakeSchedule>(
+    topo: &Topology,
+    source: NodeId,
+    regime: Regime,
+    algorithm: Algorithm,
+    wake: &S,
+    search: &SearchConfig,
+) -> RunResult {
+    let start = search.start_from;
+    let mut exact = None;
+    let schedule = match algorithm {
+        Algorithm::Layered => {
+            schedule_layered(topo, source, wake, start, LayeredMode::FixedColors)
+        }
+        Algorithm::LayeredRecolor => {
+            schedule_layered(topo, source, wake, start, LayeredMode::Recolor)
+        }
+        Algorithm::LayeredPrecomputed => {
+            schedule_layered(topo, source, wake, start, LayeredMode::Precomputed)
+        }
+        Algorithm::CdsLayered => {
+            assert!(
+                matches!(regime, Regime::Sync),
+                "the CDS baseline is defined for the synchronous system"
+            );
+            schedule_cds_layered(topo, source)
+        }
+        Algorithm::GreedyPipeline => run_pipeline(
+            topo,
+            source,
+            wake,
+            &mut MaxReceiversSelector,
+            &PipelineConfig { start_from: start },
+        ),
+        Algorithm::EModelPipeline => {
+            let em = EModel::build(topo, wake);
+            run_pipeline(
+                topo,
+                source,
+                wake,
+                &mut EModelSelector::new(&em),
+                &PipelineConfig { start_from: start },
+            )
+        }
+        Algorithm::Localized => {
+            let em = EModel::build(topo, wake);
+            wsn_distributed::localized_broadcast(topo, source, wake, &em, start).schedule
+        }
+        Algorithm::GOpt => {
+            let out = solve_gopt(topo, source, wake, search);
+            exact = Some(out.exact);
+            out.schedule
+        }
+        Algorithm::Opt => {
+            let out = solve_opt(topo, source, wake, search);
+            exact = Some(out.exact);
+            out.schedule
+        }
+    };
+
+    schedule
+        .verify(topo, wake)
+        .unwrap_or_else(|e| panic!("{} produced an invalid schedule: {e}", algorithm.name(regime)));
+
+    let ecc = bounds::source_eccentricity(topo, source);
+    let (opt_analysis, baseline_bound) = match regime {
+        Regime::Sync => (bounds::opt_bound_sync(ecc), bounds::bound_26_approx(ecc)),
+        Regime::Duty { rate } => {
+            let k = bounds::max_neighbor_wait(topo, wake);
+            (
+                bounds::opt_bound_duty(ecc, rate),
+                bounds::bound_17_approx(ecc, k),
+            )
+        }
+    };
+
+    RunResult {
+        latency: schedule.latency(),
+        transmissions: schedule.transmission_count(),
+        eccentricity: ecc,
+        exact,
+        opt_analysis,
+        baseline_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_topology::deploy;
+
+    fn small_instance() -> (Topology, NodeId) {
+        deploy::SyntheticDeployment::paper(60).sample(5)
+    }
+
+    #[test]
+    fn all_sync_algorithms_run_and_verify() {
+        let (topo, src) = small_instance();
+        let cfg = SearchConfig::default();
+        for alg in [
+            Algorithm::Layered,
+            Algorithm::LayeredRecolor,
+            Algorithm::CdsLayered,
+            Algorithm::GreedyPipeline,
+            Algorithm::EModelPipeline,
+            Algorithm::GOpt,
+            Algorithm::Opt,
+        ] {
+            let r = run_instance(&topo, src, Regime::Sync, alg, 0, &cfg);
+            assert!(r.latency >= 1, "{alg:?}");
+            assert!((5..=8).contains(&r.eccentricity));
+        }
+    }
+
+    #[test]
+    fn duty_algorithms_run_and_verify() {
+        let (topo, src) = small_instance();
+        let cfg = SearchConfig {
+            max_states: 200_000,
+            ..SearchConfig::default()
+        };
+        for alg in [
+            Algorithm::Layered,
+            Algorithm::GreedyPipeline,
+            Algorithm::EModelPipeline,
+            Algorithm::GOpt,
+        ] {
+            let r = run_instance(&topo, src, Regime::Duty { rate: 10 }, alg, 7, &cfg);
+            assert!(r.latency >= 1, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn optimality_ordering_holds() {
+        // OPT ≤ G-OPT ≤ E-model / greedy pipeline ≤ … and everything ≤ its
+        // analytical bound per Theorem 1 (searches only; heuristics may
+        // exceed d+2).
+        let (topo, src) = small_instance();
+        let cfg = SearchConfig::default();
+        let opt = run_instance(&topo, src, Regime::Sync, Algorithm::Opt, 0, &cfg);
+        let gopt = run_instance(&topo, src, Regime::Sync, Algorithm::GOpt, 0, &cfg);
+        let em = run_instance(&topo, src, Regime::Sync, Algorithm::EModelPipeline, 0, &cfg);
+        let base = run_instance(&topo, src, Regime::Sync, Algorithm::Layered, 0, &cfg);
+        assert!(opt.latency <= gopt.latency);
+        assert!(gopt.latency <= em.latency);
+        assert!(em.latency <= base.latency);
+        if opt.exact == Some(true) {
+            assert!(opt.latency <= opt.opt_analysis, "Theorem 1 violated");
+        }
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(Algorithm::Layered.name(Regime::Sync), "26-approx");
+        assert_eq!(
+            Algorithm::Layered.name(Regime::Duty { rate: 10 }),
+            "17-approx"
+        );
+        assert_eq!(Algorithm::EModelPipeline.name(Regime::Sync), "E-model");
+    }
+
+    #[test]
+    fn duty_latency_dominates_sync() {
+        let (topo, src) = small_instance();
+        let cfg = SearchConfig::default();
+        let sync = run_instance(&topo, src, Regime::Sync, Algorithm::EModelPipeline, 3, &cfg);
+        let duty = run_instance(
+            &topo,
+            src,
+            Regime::Duty { rate: 10 },
+            Algorithm::EModelPipeline,
+            3,
+            &cfg,
+        );
+        assert!(duty.latency >= sync.latency);
+    }
+}

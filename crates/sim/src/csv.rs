@@ -1,0 +1,118 @@
+//! Plain-text CSV emission for sweep results.
+//!
+//! One row per (density point, algorithm) with latency statistics, plus
+//! rows for the analytical curves — enough to replot any of Figures 3–7
+//! with any external tool, and the format EXPERIMENTS.md quotes.
+
+use crate::{Regime, SweepResult};
+use std::fmt::Write as _;
+
+/// Renders a sweep as CSV. Columns:
+/// `regime,nodes,density,series,mean,std,min,max,count`.
+pub fn sweep_to_csv(result: &SweepResult) -> String {
+    let mut out = String::from("regime,nodes,density,series,mean,std,min,max,count\n");
+    let regime = match result.regime {
+        Regime::Sync => "sync".to_string(),
+        Regime::Duty { rate } => format!("duty-r{rate}"),
+    };
+    for p in &result.points {
+        for (name, latency, _) in &p.per_algorithm {
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{},{:.3},{:.3},{},{},{}",
+                regime,
+                p.nodes,
+                p.density,
+                name,
+                latency.mean(),
+                latency.std_dev(),
+                latency.min(),
+                latency.max(),
+                latency.count()
+            );
+        }
+        for (name, series) in [
+            ("OPT-analysis", &p.opt_analysis),
+            ("baseline-bound", &p.baseline_bound),
+        ] {
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{},{:.3},{:.3},{},{},{}",
+                regime,
+                p.nodes,
+                p.density,
+                name,
+                series.mean(),
+                series.std_dev(),
+                series.min(),
+                series.max(),
+                series.count()
+            );
+        }
+    }
+    out
+}
+
+/// Renders a fixed-width table of mean latencies (series × density), the
+/// shape the paper's figures plot.
+pub fn sweep_to_table(result: &SweepResult) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = result
+        .points
+        .first()
+        .map(|p| p.per_algorithm.iter().map(|(n, _, _)| n.as_str()).collect())
+        .unwrap_or_default();
+    let _ = write!(out, "{:<10} {:<9}", "nodes", "density");
+    for n in &names {
+        let _ = write!(out, " {n:>16}");
+    }
+    let _ = writeln!(out, " {:>16}", "OPT-analysis");
+    for p in &result.points {
+        let _ = write!(out, "{:<10} {:<9.4}", p.nodes, p.density);
+        for (_, latency, _) in &p.per_algorithm {
+            let _ = write!(out, " {:>16.2}", latency.mean());
+        }
+        let _ = writeln!(out, " {:>16.2}", p.opt_analysis.mean());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, Sweep};
+    use mlbs_core::SearchConfig;
+
+    fn sample_result() -> SweepResult {
+        Sweep {
+            node_counts: vec![50],
+            instances: 2,
+            algorithms: vec![Algorithm::Layered, Algorithm::EModelPipeline],
+            regime: Regime::Sync,
+            master_seed: 7,
+            search: SearchConfig::default(),
+            threads: 1,
+        }
+        .run()
+    }
+
+    #[test]
+    fn csv_has_expected_rows_and_header() {
+        let csv = sweep_to_csv(&sample_result());
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines[0], "regime,nodes,density,series,mean,std,min,max,count");
+        // 1 point × (2 algorithms + 2 analytic series) = 4 data rows.
+        assert_eq!(lines.len(), 1 + 4);
+        assert!(lines[1].starts_with("sync,50,0.0200,26-approx,"));
+        assert!(csv.contains("OPT-analysis"));
+    }
+
+    #[test]
+    fn table_lists_all_series() {
+        let tbl = sweep_to_table(&sample_result());
+        assert!(tbl.contains("26-approx"));
+        assert!(tbl.contains("E-model"));
+        assert!(tbl.contains("OPT-analysis"));
+        assert!(tbl.lines().count() >= 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Link-loss robustness (extension).
+//!
+//! §VI criticizes schemes that "rely on healthy, interference-free links":
+//! a precomputed schedule transmits each message exactly once per relay, so
+//! a single lost delivery can strand whole subtrees. This module measures
+//! that fragility: replay a schedule while dropping each delivery
+//! independently with probability `p`, and report what fraction of the
+//! network still gets covered. It quantifies *why* §VII calls for "a more
+//! reliable … solution" and gives the localized protocol's
+//! retransmission-friendly design a measurable target.
+
+use mlbs_core::Schedule;
+use wsn_bitset::NodeSet;
+use wsn_topology::{NodeId, Topology};
+
+/// SplitMix64 step for the loss draws (self-contained; keeps the module
+/// deterministic without threading an external RNG through the replay).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Outcome of one lossy replay.
+#[derive(Clone, Debug)]
+pub struct LossyOutcome {
+    /// Nodes that received the message.
+    pub covered: NodeSet,
+    /// Deliveries that the loss process dropped.
+    pub lost_deliveries: usize,
+    /// Scheduled transmissions that were skipped because their sender never
+    /// received the message (cascade failures).
+    pub stranded_transmissions: usize,
+}
+
+impl LossyOutcome {
+    /// Fraction of nodes covered.
+    pub fn coverage(&self, n: usize) -> f64 {
+        self.covered.len() as f64 / n as f64
+    }
+}
+
+/// Replays `schedule` with iid per-delivery loss probability `loss`.
+///
+/// A sender that never received the message (because its own delivery was
+/// lost) skips its slot — it has nothing to relay; the replay records the
+/// cascade. Interference is not re-checked: the schedule was conflict-free
+/// and losing transmissions only removes signals.
+pub fn replay_lossy(
+    topo: &Topology,
+    schedule: &Schedule,
+    loss: f64,
+    seed: u64,
+) -> LossyOutcome {
+    assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+    let n = topo.len();
+    // Tag decorrelates loss draws from other uses of the same seed.
+    let mut rng = seed ^ 0x5eed_0f_da_7a_u64;
+    let mut covered = NodeSet::new(n);
+    covered.insert(schedule.source.idx());
+    let mut lost = 0;
+    let mut stranded = 0;
+
+    for entry in &schedule.entries {
+        for &u in &entry.senders {
+            if !covered.contains(u.idx()) {
+                stranded += 1;
+                continue;
+            }
+            for &v in topo.neighbors(u) {
+                if covered.contains(v.idx()) {
+                    continue;
+                }
+                // Draw in [0,1): delivered iff above the loss threshold.
+                let draw = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+                if draw < loss {
+                    lost += 1;
+                } else {
+                    covered.insert(v.idx());
+                }
+            }
+        }
+    }
+    LossyOutcome {
+        covered,
+        lost_deliveries: lost,
+        stranded_transmissions: stranded,
+    }
+}
+
+/// Mean coverage over `trials` independent loss replays.
+pub fn mean_coverage(
+    topo: &Topology,
+    schedule: &Schedule,
+    loss: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0);
+    (0..trials)
+        .map(|t| {
+            replay_lossy(topo, schedule, loss, seed.wrapping_add(t as u64)).coverage(topo.len())
+        })
+        .sum::<f64>()
+        / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{run_instance, Algorithm, Regime};
+    use mlbs_core::SearchConfig;
+    use wsn_topology::deploy::SyntheticDeployment;
+
+    fn schedule_for(n: usize, seed: u64) -> (wsn_topology::Topology, Schedule) {
+        let (topo, src) = SyntheticDeployment::paper(n).sample(seed);
+        let s = wsn_baselines::schedule_26_approx(&topo, src);
+        (topo, s)
+    }
+
+    #[test]
+    fn zero_loss_is_lossless() {
+        let (topo, s) = schedule_for(100, 1);
+        let out = replay_lossy(&topo, &s, 0.0, 42);
+        assert!(out.covered.is_full());
+        assert_eq!(out.lost_deliveries, 0);
+        assert_eq!(out.stranded_transmissions, 0);
+    }
+
+    #[test]
+    fn full_loss_reaches_nobody() {
+        let (topo, s) = schedule_for(80, 2);
+        let out = replay_lossy(&topo, &s, 1.0, 42);
+        assert_eq!(out.covered.len(), 1, "only the source holds the message");
+        assert!(out.lost_deliveries > 0);
+    }
+
+    #[test]
+    fn coverage_decreases_with_loss() {
+        let (topo, s) = schedule_for(150, 3);
+        let c05 = mean_coverage(&topo, &s, 0.05, 20, 7);
+        let c30 = mean_coverage(&topo, &s, 0.30, 20, 7);
+        assert!(c05 > c30, "coverage {c05:.3} vs {c30:.3}");
+        assert!(c05 > 0.5);
+    }
+
+    #[test]
+    fn sparse_schedules_are_more_fragile() {
+        // The minimum-latency schedules transmit less, so under loss they
+        // cover *less* than the redundant baseline — the §VI reliability
+        // trade-off, measured.
+        let (topo, src) = SyntheticDeployment::paper(200).sample(4);
+        let cfg = SearchConfig::default();
+        let _ = run_instance(&topo, src, Regime::Sync, Algorithm::GOpt, 0, &cfg);
+        let lean = mlbs_core::solve_gopt(&topo, src, &wsn_dutycycle::AlwaysAwake, &cfg).schedule;
+        let redundant = wsn_baselines::schedule_26_approx(&topo, src);
+        assert!(lean.transmission_count() <= redundant.transmission_count());
+        let c_lean = mean_coverage(&topo, &lean, 0.2, 30, 11);
+        let c_red = mean_coverage(&topo, &redundant, 0.2, 30, 11);
+        // Not asserted strictly (both lose coverage); report-style check:
+        // both are hurt, and the lean schedule is not *more* robust.
+        assert!(c_lean <= c_red + 0.05, "lean {c_lean:.3} vs redundant {c_red:.3}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (topo, s) = schedule_for(100, 5);
+        let a = replay_lossy(&topo, &s, 0.2, 9).covered.to_vec();
+        let b = replay_lossy(&topo, &s, 0.2, 9).covered.to_vec();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,327 @@
+//! The density-sweep experiment: Figures 3, 4 and 6.
+
+use crate::algorithm::{run_instance, Algorithm, Regime};
+use crate::stats::Summary;
+use crate::derive_seed;
+use mlbs_core::SearchConfig;
+use std::collections::HashMap;
+use wsn_topology::deploy::SyntheticDeployment;
+
+/// A density sweep: for each node count, draw `instances` deployments and
+/// run every algorithm on each.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Node counts (the paper sweeps 50–300 over a 50×50 sq-ft area).
+    pub node_counts: Vec<usize>,
+    /// Instances per node count.
+    pub instances: usize,
+    /// Algorithms to run.
+    pub algorithms: Vec<Algorithm>,
+    /// Timing regime.
+    pub regime: Regime,
+    /// Master seed; everything else derives from it.
+    pub master_seed: u64,
+    /// Search configuration for OPT / G-OPT.
+    pub search: SearchConfig,
+    /// Worker threads (1 = sequential; results are identical either way).
+    pub threads: usize,
+}
+
+impl Sweep {
+    /// The paper's Figure 3/4/6 sweep grid at a chosen instance count.
+    pub fn paper_grid(regime: Regime, instances: usize, master_seed: u64) -> Self {
+        Sweep {
+            node_counts: vec![50, 100, 150, 200, 250, 300],
+            instances,
+            algorithms: Algorithm::paper_set().to_vec(),
+            regime,
+            master_seed,
+            search: SearchConfig::default(),
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+    }
+
+    /// Runs the sweep and aggregates per (algorithm, node count).
+    pub fn run(&self) -> SweepResult {
+        assert!(self.instances > 0 && !self.node_counts.is_empty());
+        let jobs: Vec<(usize, usize)> = self
+            .node_counts
+            .iter()
+            .flat_map(|&n| (0..self.instances).map(move |i| (n, i)))
+            .collect();
+
+        // One result bucket per (node count, algorithm); filled from a
+        // result channel so aggregation order never depends on scheduling.
+        let mut latency: HashMap<(usize, Algorithm), Summary> = HashMap::new();
+        let mut transmissions: HashMap<(usize, Algorithm), Summary> = HashMap::new();
+        let mut opt_analysis: HashMap<usize, Summary> = HashMap::new();
+        let mut baseline_bound: HashMap<usize, Summary> = HashMap::new();
+        let mut eccentricity: HashMap<usize, Summary> = HashMap::new();
+        let mut inexact = 0usize;
+
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, usize)>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<InstanceRecord>();
+        for job in jobs {
+            job_tx.send(job).expect("queue open");
+        }
+        drop(job_tx);
+
+        let workers = self.threads.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let sweep = &*self;
+                scope.spawn(move || {
+                    while let Ok((nodes, instance)) = job_rx.recv() {
+                        let rec = sweep.run_one(nodes, instance);
+                        if res_tx.send(rec).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            while let Ok(rec) = res_rx.recv() {
+                for (alg, r) in &rec.runs {
+                    latency
+                        .entry((rec.nodes, *alg))
+                        .or_default()
+                        .push(r.latency as f64);
+                    transmissions
+                        .entry((rec.nodes, *alg))
+                        .or_default()
+                        .push(r.transmissions as f64);
+                    if r.exact == Some(false) {
+                        inexact += 1;
+                    }
+                }
+                if let Some((_, first)) = rec.runs.first() {
+                    opt_analysis
+                        .entry(rec.nodes)
+                        .or_default()
+                        .push(first.opt_analysis as f64);
+                    baseline_bound
+                        .entry(rec.nodes)
+                        .or_default()
+                        .push(first.baseline_bound as f64);
+                    eccentricity
+                        .entry(rec.nodes)
+                        .or_default()
+                        .push(first.eccentricity as f64);
+                }
+            }
+        });
+
+        let mut points = Vec::new();
+        for &nodes in &self.node_counts {
+            let density = nodes as f64 / 2500.0; // 50×50 sq ft (§V-A)
+            let per_alg = self
+                .algorithms
+                .iter()
+                .map(|&alg| {
+                    (
+                        alg.name(self.regime).to_string(),
+                        latency.remove(&(nodes, alg)).unwrap_or_default(),
+                        transmissions.remove(&(nodes, alg)).unwrap_or_default(),
+                    )
+                })
+                .collect();
+            points.push(SweepPointResult {
+                nodes,
+                density,
+                per_algorithm: per_alg,
+                opt_analysis: opt_analysis.remove(&nodes).unwrap_or_default(),
+                baseline_bound: baseline_bound.remove(&nodes).unwrap_or_default(),
+                eccentricity: eccentricity.remove(&nodes).unwrap_or_default(),
+            });
+        }
+        SweepResult {
+            regime: self.regime,
+            points,
+            inexact_runs: inexact,
+        }
+    }
+
+    /// One instance: sample the deployment, run every algorithm on it.
+    fn run_one(&self, nodes: usize, instance: usize) -> InstanceRecord {
+        let seed = derive_seed(self.master_seed, nodes as u64, instance as u64);
+        let deployment = SyntheticDeployment::paper(nodes);
+        let (topo, source) = deployment.sample(seed);
+        let wake_seed = derive_seed(seed, WAKE_SEED_TAG, 0);
+        let runs = self
+            .algorithms
+            .iter()
+            .map(|&alg| {
+                (
+                    alg,
+                    run_instance(&topo, source, self.regime, alg, wake_seed, &self.search),
+                )
+            })
+            .collect();
+        InstanceRecord { nodes, runs }
+    }
+}
+
+/// Tag mixed into wake-schedule seeds so wake schedules are decorrelated
+/// from deployment randomness.
+const WAKE_SEED_TAG: u64 = 0x57a6_6e8d;
+
+/// Results of all algorithms on one instance.
+struct InstanceRecord {
+    nodes: usize,
+    runs: Vec<(Algorithm, crate::algorithm::RunResult)>,
+}
+
+/// Aggregates for one node count.
+#[derive(Clone, Debug)]
+pub struct SweepPointResult {
+    /// Node count.
+    pub nodes: usize,
+    /// Density in nodes per sq ft.
+    pub density: f64,
+    /// Per algorithm: (name, latency summary, transmissions summary).
+    pub per_algorithm: Vec<(String, Summary, Summary)>,
+    /// Theorem 1 bound across instances.
+    pub opt_analysis: Summary,
+    /// Baseline analytical bound across instances.
+    pub baseline_bound: Summary,
+    /// Source eccentricity across instances.
+    pub eccentricity: Summary,
+}
+
+/// A full sweep result.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The regime the sweep ran under.
+    pub regime: Regime,
+    /// One entry per node count, in sweep order.
+    pub points: Vec<SweepPointResult>,
+    /// Search runs that hit a cap (0 in exact reproductions).
+    pub inexact_runs: usize,
+}
+
+impl SweepResult {
+    /// Mean latency of `name` at the sweep point for `nodes`, if present.
+    pub fn mean_latency(&self, nodes: usize, name: &str) -> Option<f64> {
+        self.points.iter().find(|p| p.nodes == nodes).and_then(|p| {
+            p.per_algorithm
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, lat, _)| lat.mean())
+        })
+    }
+
+    /// Relative improvement of `better` over `baseline` at each point
+    /// (`1 − better/baseline`), averaged across points — the §V-C claim
+    /// metric ("room of at least 70% improvement").
+    pub fn mean_improvement(&self, better: &str, baseline: &str) -> f64 {
+        let mut acc = 0.0;
+        let mut k = 0;
+        for p in &self.points {
+            let b = p
+                .per_algorithm
+                .iter()
+                .find(|(n, _, _)| n == baseline)
+                .map(|(_, l, _)| l.mean());
+            let g = p
+                .per_algorithm
+                .iter()
+                .find(|(n, _, _)| n == better)
+                .map(|(_, l, _)| l.mean());
+            if let (Some(b), Some(g)) = (b, g) {
+                if b > 0.0 {
+                    acc += 1.0 - g / b;
+                    k += 1;
+                }
+            }
+        }
+        if k == 0 {
+            0.0
+        } else {
+            acc / k as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep(threads: usize) -> SweepResult {
+        Sweep {
+            node_counts: vec![50, 80],
+            instances: 3,
+            algorithms: vec![
+                Algorithm::Layered,
+                Algorithm::GOpt,
+                Algorithm::EModelPipeline,
+            ],
+            regime: Regime::Sync,
+            master_seed: 1234,
+            search: SearchConfig::default(),
+            threads,
+        }
+        .run()
+    }
+
+    #[test]
+    fn sweep_collects_all_points() {
+        let r = tiny_sweep(2);
+        assert_eq!(r.points.len(), 2);
+        for p in &r.points {
+            assert_eq!(p.per_algorithm.len(), 3);
+            for (_, lat, tx) in &p.per_algorithm {
+                assert_eq!(lat.count(), 3);
+                assert_eq!(tx.count(), 3);
+                assert!(lat.mean() >= 1.0);
+            }
+            assert_eq!(p.eccentricity.count(), 3);
+        }
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let a = tiny_sweep(1);
+        let b = tiny_sweep(4);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            for ((na, la, _), (nb, lb, _)) in pa.per_algorithm.iter().zip(&pb.per_algorithm) {
+                assert_eq!(na, nb);
+                assert_eq!(la.mean(), lb.mean(), "algorithm {na} differs across thread counts");
+                assert_eq!(la.min(), lb.min());
+                assert_eq!(la.max(), lb.max());
+            }
+        }
+    }
+
+    #[test]
+    fn gopt_beats_layered_on_average() {
+        let r = tiny_sweep(2);
+        for p in &r.points {
+            let layered = p
+                .per_algorithm
+                .iter()
+                .find(|(n, _, _)| n == "26-approx")
+                .unwrap()
+                .1
+                .mean();
+            let gopt = p
+                .per_algorithm
+                .iter()
+                .find(|(n, _, _)| n == "G-OPT")
+                .unwrap()
+                .1
+                .mean();
+            assert!(gopt <= layered);
+        }
+        assert!(r.mean_improvement("G-OPT", "26-approx") >= 0.0);
+    }
+
+    #[test]
+    fn mean_latency_lookup() {
+        let r = tiny_sweep(2);
+        assert!(r.mean_latency(50, "G-OPT").is_some());
+        assert!(r.mean_latency(50, "nonexistent").is_none());
+        assert!(r.mean_latency(999, "G-OPT").is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Connectivity via union-find.
+//!
+//! Deployment generation (§V-A) resamples until the instance is connected —
+//! a broadcast can only complete on a connected graph — so the check runs
+//! on every candidate deployment and should be near-linear.
+
+use crate::Topology;
+
+/// Weighted quick-union with path halving.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// `true` when every node can reach every other node.
+pub fn is_connected(topo: &Topology) -> bool {
+    if topo.len() <= 1 {
+        return true;
+    }
+    let mut uf = UnionFind::new(topo.len());
+    for (u, v) in topo.csr().edges() {
+        uf.union(u.0, v.0);
+    }
+    let root = uf.find(0);
+    (1..topo.len() as u32).all(|i| uf.find(i) == root)
+}
+
+/// Component label per node (labels are the smallest node id in the
+/// component), plus the number of components.
+pub fn components(topo: &Topology) -> (Vec<u32>, usize) {
+    let n = topo.len();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in topo.csr().edges() {
+        uf.union(u.0, v.0);
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0;
+    for i in 0..n as u32 {
+        let r = uf.find(i) as usize;
+        if label[r] == u32::MAX {
+            label[r] = i; // first-seen id in the component is the smallest
+            count += 1;
+        }
+        label[i as usize] = label[r];
+    }
+    (label, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+    use wsn_geom::Point;
+
+    #[test]
+    fn connected_path() {
+        let t = Topology::unit_disk(
+            (0..4).map(|i| Point::new(i as f64, 0.0)).collect(),
+            1.0,
+        );
+        assert!(is_connected(&t));
+        let (labels, count) = components(&t);
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_clusters() {
+        let t = Topology::unit_disk(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(11.0, 0.0),
+            ],
+            1.0,
+        );
+        assert!(!is_connected(&t));
+        let (labels, count) = components(&t);
+        assert_eq!(count, 2);
+        assert_eq!(labels, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn singleton_and_empty_are_connected() {
+        let t1 = Topology::unit_disk(vec![Point::new(0.0, 0.0)], 1.0);
+        assert!(is_connected(&t1));
+        let t0 = Topology::unit_disk(vec![], 1.0);
+        assert!(is_connected(&t0));
+    }
+
+    #[test]
+    fn isolated_node_detected() {
+        let t = Topology::unit_disk(
+            vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(30.0, 30.0)],
+            1.0,
+        );
+        assert!(!is_connected(&t));
+        let (_, count) = components(&t);
+        assert_eq!(count, 2);
+    }
+}

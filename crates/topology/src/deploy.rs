@@ -1,0 +1,244 @@
+//! Deployment generation matching §V-A, plus extension scenarios.
+//!
+//! The paper deploys 50–300 nodes uniformly on a 50×50 sq-ft area with a
+//! 10 ft communication radius and picks a source 5–8 hops from the farthest
+//! node. [`SyntheticDeployment::sample`] reproduces exactly that protocol:
+//! resample until the topology is connected and a qualifying source exists.
+
+use crate::{connectivity, metrics, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsn_geom::{Point, Rect};
+
+/// Paper defaults: 50×50 sq-ft area (§V-A).
+pub const PAPER_AREA: Rect = Rect::with_size(50.0, 50.0);
+/// Paper default communication radius: 10 ft (§V-A).
+pub const PAPER_RADIUS: f64 = 10.0;
+/// Paper default source-eccentricity window: 5–8 hops (§V-A).
+pub const PAPER_ECC_RANGE: (u32, u32) = (5, 8);
+
+/// A deployment recipe; `sample` draws concrete connected instances.
+#[derive(Clone, Debug)]
+pub struct SyntheticDeployment {
+    /// Deployment region.
+    pub area: Rect,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Communication radius.
+    pub radius: f64,
+    /// Required source eccentricity (inclusive); `None` = any source.
+    pub ecc_range: Option<(u32, u32)>,
+    /// Maximum resampling attempts before giving up.
+    pub max_attempts: usize,
+    /// Optional circular hole: no node is placed inside it.
+    pub hole: Option<(Point, f64)>,
+}
+
+impl SyntheticDeployment {
+    /// The paper's §V-A recipe for a given node count (50–300).
+    pub fn paper(nodes: usize) -> Self {
+        SyntheticDeployment {
+            area: PAPER_AREA,
+            nodes,
+            radius: PAPER_RADIUS,
+            ecc_range: Some(PAPER_ECC_RANGE),
+            max_attempts: 10_000,
+            hole: None,
+        }
+    }
+
+    /// Node density in nodes per square foot (the x-axis of Figures 3–7).
+    pub fn density(&self) -> f64 {
+        self.nodes as f64 / self.area.area()
+    }
+
+    /// Draws one connected instance with a qualifying source.
+    ///
+    /// Returns `(topology, source)`. Instances are fully determined by
+    /// `seed`, which the experiment harness derives from a master seed so
+    /// every figure is reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_attempts` resamples cannot produce a connected
+    /// topology with a qualifying source — a sign the recipe is infeasible
+    /// (e.g. 50 nodes with a 5-hop eccentricity demand on a tiny area).
+    pub fn sample(&self, seed: u64) -> (Topology, NodeId) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..self.max_attempts {
+            let topo = self.sample_positions(&mut rng);
+            if !connectivity::is_connected(&topo) {
+                continue;
+            }
+            if let Some(src) = self.pick_source(&topo, &mut rng) {
+                return (topo, src);
+            }
+        }
+        panic!(
+            "no connected deployment with a qualifying source after {} attempts \
+             (nodes={}, radius={}, ecc={:?})",
+            self.max_attempts, self.nodes, self.radius, self.ecc_range
+        );
+    }
+
+    /// Draws positions only (may be disconnected).
+    fn sample_positions(&self, rng: &mut StdRng) -> Topology {
+        let mut pts = Vec::with_capacity(self.nodes);
+        while pts.len() < self.nodes {
+            let p = Point::new(
+                rng.random_range(self.area.min.x..=self.area.max.x),
+                rng.random_range(self.area.min.y..=self.area.max.y),
+            );
+            if let Some((c, r)) = self.hole {
+                if p.dist(&c) < r {
+                    continue;
+                }
+            }
+            pts.push(p);
+        }
+        Topology::unit_disk(pts, self.radius)
+    }
+
+    /// Picks a random source meeting the eccentricity constraint, if any.
+    fn pick_source(&self, topo: &Topology, rng: &mut StdRng) -> Option<NodeId> {
+        match self.ecc_range {
+            None => Some(NodeId(rng.random_range(0..topo.len() as u32))),
+            Some((lo, hi)) => {
+                let qualifying: Vec<NodeId> = topo
+                    .nodes()
+                    .filter(|&u| {
+                        metrics::eccentricity(topo, u)
+                            .map(|e| e >= lo && e <= hi)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if qualifying.is_empty() {
+                    None
+                } else {
+                    Some(qualifying[rng.random_range(0..qualifying.len())])
+                }
+            }
+        }
+    }
+}
+
+/// A regular `cols × rows` grid with the given spacing — the degenerate
+/// deterministic deployment used by tests and the quickstart example.
+pub fn grid(cols: usize, rows: usize, spacing: f64, radius: f64) -> Topology {
+    let mut pts = Vec::with_capacity(cols * rows);
+    for y in 0..rows {
+        for x in 0..cols {
+            pts.push(Point::new(x as f64 * spacing, y as f64 * spacing));
+        }
+    }
+    Topology::unit_disk(pts, radius)
+}
+
+/// Gaussian-clustered deployment: `clusters` cluster centers uniform in the
+/// area, nodes split evenly and scattered around their center with the given
+/// standard deviation. Models the "dense pockets" regime discussed in §V-C.
+pub fn clustered(
+    area: Rect,
+    nodes: usize,
+    clusters: usize,
+    sigma: f64,
+    radius: f64,
+    seed: u64,
+) -> Topology {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| {
+            Point::new(
+                rng.random_range(area.min.x..=area.max.x),
+                rng.random_range(area.min.y..=area.max.y),
+            )
+        })
+        .collect();
+    let mut pts = Vec::with_capacity(nodes);
+    let mut k = 0;
+    while pts.len() < nodes {
+        let c = centers[k % clusters];
+        k += 1;
+        // Box-Muller from two uniforms.
+        let (u1, u2): (f64, f64) = (rng.random_range(1e-12..1.0), rng.random_range(0.0..1.0));
+        let mag = sigma * (-2.0 * u1.ln()).sqrt();
+        let p = Point::new(
+            (c.x + mag * (std::f64::consts::TAU * u2).cos()).clamp(area.min.x, area.max.x),
+            (c.y + mag * (std::f64::consts::TAU * u2).sin()).clamp(area.min.y, area.max.y),
+        );
+        pts.push(p);
+    }
+    Topology::unit_disk(pts, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_recipe_density_range() {
+        assert!((SyntheticDeployment::paper(50).density() - 0.02).abs() < 1e-12);
+        assert!((SyntheticDeployment::paper(300).density() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_is_connected_with_qualifying_source() {
+        let d = SyntheticDeployment::paper(120);
+        let (topo, src) = d.sample(42);
+        assert_eq!(topo.len(), 120);
+        assert!(connectivity::is_connected(&topo));
+        let ecc = metrics::eccentricity(&topo, src).unwrap();
+        assert!((5..=8).contains(&ecc), "eccentricity {ecc} outside 5..=8");
+    }
+
+    #[test]
+    fn sample_is_deterministic_in_seed() {
+        let d = SyntheticDeployment::paper(60);
+        let (t1, s1) = d.sample(7);
+        let (t2, s2) = d.sample(7);
+        assert_eq!(s1, s2);
+        assert_eq!(t1.positions().len(), t2.positions().len());
+        for (a, b) in t1.positions().iter().zip(t2.positions()) {
+            assert_eq!(a, b);
+        }
+        let (t3, _) = d.sample(8);
+        assert!(
+            t1.positions()
+                .iter()
+                .zip(t3.positions())
+                .any(|(a, b)| a != b),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn hole_is_respected() {
+        let mut d = SyntheticDeployment::paper(150);
+        let hole_center = Point::new(25.0, 25.0);
+        d.hole = Some((hole_center, 8.0));
+        let (topo, _) = d.sample(3);
+        for p in topo.positions() {
+            assert!(p.dist(&hole_center) >= 8.0);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = grid(4, 3, 1.0, 1.1);
+        assert_eq!(t.len(), 12);
+        assert!(connectivity::is_connected(&t));
+        // 4-neighborhood: horizontal edges 3*3, vertical 4*2.
+        assert_eq!(t.csr().edge_count(), 9 + 8);
+    }
+
+    #[test]
+    fn clustered_respects_area() {
+        let area = Rect::with_size(50.0, 50.0);
+        let t = clustered(area, 100, 4, 3.0, 10.0, 9);
+        assert_eq!(t.len(), 100);
+        for p in t.positions() {
+            assert!(area.contains(p));
+        }
+    }
+}

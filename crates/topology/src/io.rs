@@ -1,0 +1,126 @@
+//! Plain-text topology (de)serialization.
+//!
+//! A tiny line-oriented format so experiment instances can be archived and
+//! replayed without a serialization framework:
+//!
+//! ```text
+//! wsn-topology v1
+//! radius 10
+//! nodes 3
+//! 0.5 1.25
+//! 10 20
+//! 30.5 40
+//! ```
+//!
+//! Adjacency is *not* stored — it is rederived from positions under the UDG
+//! rule, which guarantees a loaded topology can never disagree with its
+//! geometry.
+
+use crate::Topology;
+use std::fmt::Write as _;
+use wsn_geom::Point;
+
+/// Serializes a topology to the text format.
+pub fn to_string(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str("wsn-topology v1\n");
+    let _ = writeln!(out, "radius {}", topo.radius());
+    let _ = writeln!(out, "nodes {}", topo.len());
+    for p in topo.positions() {
+        let _ = writeln!(out, "{} {}", p.x, p.y);
+    }
+    out
+}
+
+/// Parse failure description.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "topology parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the text format produced by [`to_string`].
+pub fn from_str(s: &str) -> Result<Topology, ParseError> {
+    let mut lines = s.lines();
+    let header = lines.next().ok_or_else(|| ParseError("empty input".into()))?;
+    if header.trim() != "wsn-topology v1" {
+        return Err(ParseError(format!("unknown header {header:?}")));
+    }
+    let radius_line = lines
+        .next()
+        .ok_or_else(|| ParseError("missing radius line".into()))?;
+    let radius: f64 = radius_line
+        .strip_prefix("radius ")
+        .ok_or_else(|| ParseError(format!("expected 'radius <r>', got {radius_line:?}")))?
+        .trim()
+        .parse()
+        .map_err(|e| ParseError(format!("bad radius: {e}")))?;
+    let nodes_line = lines
+        .next()
+        .ok_or_else(|| ParseError("missing nodes line".into()))?;
+    let n: usize = nodes_line
+        .strip_prefix("nodes ")
+        .ok_or_else(|| ParseError(format!("expected 'nodes <n>', got {nodes_line:?}")))?
+        .trim()
+        .parse()
+        .map_err(|e| ParseError(format!("bad node count: {e}")))?;
+    let mut pts = Vec::with_capacity(n);
+    for i in 0..n {
+        let line = lines
+            .next()
+            .ok_or_else(|| ParseError(format!("missing position line {i}")))?;
+        let mut parts = line.split_whitespace();
+        let x: f64 = parts
+            .next()
+            .ok_or_else(|| ParseError(format!("line {i}: missing x")))?
+            .parse()
+            .map_err(|e| ParseError(format!("line {i}: bad x: {e}")))?;
+        let y: f64 = parts
+            .next()
+            .ok_or_else(|| ParseError(format!("line {i}: missing y")))?
+            .parse()
+            .map_err(|e| ParseError(format!("line {i}: bad y: {e}")))?;
+        if parts.next().is_some() {
+            return Err(ParseError(format!("line {i}: trailing tokens")));
+        }
+        pts.push(Point::new(x, y));
+    }
+    Ok(Topology::unit_disk(pts, radius))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = deploy::grid(4, 4, 7.0, 10.0);
+        let s = to_string(&t);
+        let t2 = from_str(&s).unwrap();
+        assert_eq!(t.len(), t2.len());
+        assert_eq!(t.radius(), t2.radius());
+        assert_eq!(t.positions(), t2.positions());
+        assert_eq!(t.csr(), t2.csr());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("wsn-topology v2\nradius 1\nnodes 0\n").is_err());
+        assert!(from_str("wsn-topology v1\nradius x\nnodes 0\n").is_err());
+        assert!(from_str("wsn-topology v1\nradius 1\nnodes 2\n0 0\n").is_err());
+        assert!(from_str("wsn-topology v1\nradius 1\nnodes 1\n0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_line() {
+        let err = from_str("wsn-topology v1\nradius 1\nnodes 1\n0 oops\n").unwrap_err();
+        assert!(err.0.contains("line 0"), "got: {}", err.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The [`Topology`] type: positions + radius + derived adjacency.
+
+use crate::{Csr, NodeId};
+use wsn_bitset::NodeSet;
+use wsn_geom::{Point, Quadrant};
+
+/// A WSN topology under the unit-disk-graph model.
+///
+/// Owns the node positions, the communication radius, the CSR adjacency and
+/// one [`NodeSet`] neighbor mask per node. The neighbor masks are what the
+/// schedulers consume: every interference predicate in the paper is a set
+/// expression over `N(u)` masks and the informed set `W`.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    positions: Vec<Point>,
+    radius: f64,
+    csr: Csr,
+    /// `neighbor_sets[u]` = `N(u)` as a bitset (excludes `u` itself).
+    neighbor_sets: Vec<NodeSet>,
+    /// `closed_sets[u]` = `N[u] = N(u) ∪ {u}`, used by coverage checks.
+    closed_sets: Vec<NodeSet>,
+}
+
+impl Topology {
+    /// Builds the UDG topology of `positions` with communication `radius`.
+    ///
+    /// Neighbor discovery uses a uniform grid of `radius`-sized cells, so
+    /// construction is `O(n · expected-neighbors)` rather than `O(n²)` —
+    /// this matters for the Monte-Carlo sweeps that build thousands of
+    /// 300-node instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive or any coordinate is
+    /// non-finite.
+    pub fn unit_disk(positions: Vec<Point>, radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        assert!(
+            positions.iter().all(|p| p.x.is_finite() && p.y.is_finite()),
+            "positions must be finite"
+        );
+        let n = positions.len();
+        let r2 = radius * radius;
+
+        // Grid-bucket candidate generation.
+        let (min_x, min_y) = positions.iter().fold((0.0f64, 0.0f64), |(ax, ay), p| {
+            (ax.min(p.x), ay.min(p.y))
+        });
+        let cell = |p: &Point| -> (i64, i64) {
+            (
+                ((p.x - min_x) / radius).floor() as i64,
+                ((p.y - min_y) / radius).floor() as i64,
+            )
+        };
+        let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            buckets.entry(cell(p)).or_default().push(i as u32);
+        }
+
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (i, p) in positions.iter().enumerate() {
+            let (cx, cy) = cell(p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(cands) = buckets.get(&(cx + dx, cy + dy)) {
+                        for &j in cands {
+                            if (j as usize) > i && positions[j as usize].dist2(p) <= r2 {
+                                edges.push((NodeId(i as u32), NodeId(j)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Self::from_parts(positions, radius, Csr::from_edges(n, &edges))
+    }
+
+    /// Builds a topology from an explicit edge list, bypassing the UDG rule.
+    ///
+    /// Used by tests that need a specific graph regardless of geometry; the
+    /// paper fixtures use [`Topology::unit_disk`] so geometry and adjacency
+    /// stay consistent.
+    pub fn from_edge_list(positions: Vec<Point>, radius: f64, edges: &[(NodeId, NodeId)]) -> Self {
+        let n = positions.len();
+        Self::from_parts(positions, radius, Csr::from_edges(n, edges))
+    }
+
+    fn from_parts(positions: Vec<Point>, radius: f64, csr: Csr) -> Self {
+        let n = positions.len();
+        let mut neighbor_sets = Vec::with_capacity(n);
+        let mut closed_sets = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut s = NodeSet::new(n);
+            for &v in csr.neighbors_of(NodeId(u as u32)) {
+                s.insert(v.idx());
+            }
+            let mut c = s.clone();
+            c.insert(u);
+            neighbor_sets.push(s);
+            closed_sets.push(c);
+        }
+        Topology {
+            positions,
+            radius,
+            csr,
+            neighbor_sets,
+            closed_sets,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when the topology has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Communication radius.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Position of `u`.
+    #[inline]
+    pub fn position(&self, u: NodeId) -> Point {
+        self.positions[u.idx()]
+    }
+
+    /// All positions.
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The CSR adjacency.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Sorted neighbor list `N(u)`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.csr.neighbors_of(u)
+    }
+
+    /// Neighbor mask `N(u)` as a bitset.
+    #[inline]
+    pub fn neighbor_set(&self, u: NodeId) -> &NodeSet {
+        &self.neighbor_sets[u.idx()]
+    }
+
+    /// Closed neighbor mask `N[u] = N(u) ∪ {u}`.
+    #[inline]
+    pub fn closed_neighbor_set(&self, u: NodeId) -> &NodeSet {
+        &self.closed_sets[u.idx()]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.csr.degree(u)
+    }
+
+    /// `true` when `u` and `v` are adjacent.
+    #[inline]
+    pub fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        self.csr.has_edge(u, v)
+    }
+
+    /// Iterates all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Average degree, a key density diagnostic in §V (density × πr²).
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.csr.edge_count() as f64 / self.len() as f64
+    }
+
+    /// Neighbors of `u` lying in quadrant `q` of `u` (`N(u) ∩ Q_i(u)`),
+    /// the adjacency view the E-model relaxation runs on.
+    pub fn neighbors_in_quadrant(&self, u: NodeId, q: Quadrant) -> Vec<NodeId> {
+        let pu = self.position(u);
+        self.neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| Quadrant::of(&pu, &self.position(v)) == Some(q))
+            .collect()
+    }
+
+    /// `true` when `u` has at least one neighbor in quadrant `q`
+    /// (`N(u) ∩ Q_i(u) ≠ ∅`), the emptiness test of Algorithm 2.
+    pub fn has_neighbor_in_quadrant(&self, u: NodeId, q: Quadrant) -> bool {
+        let pu = self.position(u);
+        self.neighbors(u)
+            .iter()
+            .any(|&v| Quadrant::of(&pu, &self.position(v)) == Some(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_topo() -> Topology {
+        // Unit square corners plus center; radius 1.1 connects sides and
+        // center-to-corners (corner distance √0.5 ≈ 0.707), but not diagonals
+        // (√2 ≈ 1.414).
+        Topology::unit_disk(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(0.0, 1.0),
+                Point::new(0.5, 0.5),
+            ],
+            1.1,
+        )
+    }
+
+    #[test]
+    fn udg_edges_match_distances() {
+        let t = square_topo();
+        assert!(t.adjacent(NodeId(0), NodeId(1)));
+        assert!(t.adjacent(NodeId(0), NodeId(3)));
+        assert!(!t.adjacent(NodeId(0), NodeId(2)), "diagonal too far");
+        assert!(t.adjacent(NodeId(4), NodeId(0)));
+        assert_eq!(t.degree(NodeId(4)), 4);
+        assert_eq!(t.csr().edge_count(), 8);
+    }
+
+    #[test]
+    fn neighbor_sets_mirror_csr() {
+        let t = square_topo();
+        for u in t.nodes() {
+            let from_csr: Vec<usize> = t.neighbors(u).iter().map(|v| v.idx()).collect();
+            assert_eq!(t.neighbor_set(u).to_vec(), from_csr);
+            assert!(t.closed_neighbor_set(u).contains(u.idx()));
+            assert_eq!(t.closed_neighbor_set(u).len(), from_csr.len() + 1);
+        }
+    }
+
+    #[test]
+    fn radius_boundary_is_inclusive() {
+        let t = Topology::unit_disk(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], 1.0);
+        assert!(t.adjacent(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn grid_bucket_matches_bruteforce() {
+        // Deterministic pseudo-random scatter; compare against O(n²).
+        let mut state = 0x12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pts: Vec<Point> = (0..120)
+            .map(|_| Point::new(next() * 50.0, next() * 50.0))
+            .collect();
+        let t = Topology::unit_disk(pts.clone(), 10.0);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let expect = pts[i].dist2(&pts[j]) <= 100.0;
+                assert_eq!(
+                    t.adjacent(NodeId(i as u32), NodeId(j as u32)),
+                    expect,
+                    "edge ({i},{j}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_neighbors() {
+        let t = square_topo();
+        // From the center (0.5,0.5): corner 2 (1,1) is Q1, corner 3 (0,1) is
+        // Q2, corner 0 (0,0) is Q3, corner 1 (1,0) is Q4.
+        let c = NodeId(4);
+        assert_eq!(t.neighbors_in_quadrant(c, Quadrant::Q1), vec![NodeId(2)]);
+        assert_eq!(t.neighbors_in_quadrant(c, Quadrant::Q2), vec![NodeId(3)]);
+        assert_eq!(t.neighbors_in_quadrant(c, Quadrant::Q3), vec![NodeId(0)]);
+        assert_eq!(t.neighbors_in_quadrant(c, Quadrant::Q4), vec![NodeId(1)]);
+        // Corner 0 has no Q3 neighbor: everything is up-right of it.
+        assert!(!t.has_neighbor_in_quadrant(NodeId(0), Quadrant::Q3));
+        assert!(t.has_neighbor_in_quadrant(NodeId(0), Quadrant::Q1));
+    }
+
+    #[test]
+    fn average_degree() {
+        let t = square_topo();
+        assert!((t.average_degree() - 16.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_rejected() {
+        Topology::unit_disk(vec![Point::new(0.0, 0.0)], 0.0);
+    }
+
+    #[test]
+    fn negative_coordinates_supported() {
+        let t = Topology::unit_disk(
+            vec![Point::new(-5.0, -5.0), Point::new(-4.5, -5.0), Point::new(5.0, 5.0)],
+            1.0,
+        );
+        assert!(t.adjacent(NodeId(0), NodeId(1)));
+        assert!(!t.adjacent(NodeId(0), NodeId(2)));
+    }
+}

@@ -1,0 +1,80 @@
+//! Energy/latency trade-off across duty-cycle rates.
+//!
+//! §V-C observes that heavy duty cycling (small `r`) suffers more
+//! interference while light duty cycling (large `r`) pays longer cycle
+//! waits per hop — "the end-to-end delay is more likely in proportion to
+//! the hop distance". This example sweeps `r` on one deployment and prints
+//! latency plus the idealized radio-on energy (∝ 1/r), showing where the
+//! pipeline keeps the latency penalty sub-linear in `r`.
+//!
+//! ```text
+//! cargo run --release --example duty_cycle_tradeoff
+//! ```
+
+use mlbs::prelude::*;
+
+fn main() {
+    let (topo, source) = SyntheticDeployment::paper(200).sample(11);
+    let d = bounds::source_eccentricity(&topo, source);
+    println!(
+        "{} nodes, source eccentricity {d} hops; sweeping cycle rate r\n",
+        topo.len()
+    );
+    println!(
+        "{:>4} {:>12} {:>14} {:>14} {:>12} {:>14}",
+        "r", "duty cycle", "17-approx", "E-model", "G-OPT", "slots/hop (E)"
+    );
+
+    for rate in [1u32, 5, 10, 20, 50] {
+        let (layered, emodel_lat, gopt_lat) = if rate == 1 {
+            let layered = schedule_26_approx(&topo, source);
+            let em = EModel::build(&topo, &AlwaysAwake);
+            let e = run_pipeline(
+                &topo,
+                source,
+                &AlwaysAwake,
+                &mut EModelSelector::new(&em),
+                &PipelineConfig::default(),
+            );
+            let g = solve_gopt(&topo, source, &AlwaysAwake, &SearchConfig::default());
+            (layered.latency(), e.latency(), g.latency)
+        } else {
+            let wake = WindowedRandom::new(topo.len(), rate, 0xCAFE + rate as u64);
+            let layered = schedule_17_approx(&topo, source, &wake, 1);
+            let em = EModel::build(&topo, &wake);
+            let e = run_pipeline(
+                &topo,
+                source,
+                &wake,
+                &mut EModelSelector::new(&em),
+                &PipelineConfig::default(),
+            );
+            let g = solve_gopt(
+                &topo,
+                source,
+                &wake,
+                &SearchConfig {
+                    max_states: 400_000,
+                    ..SearchConfig::default()
+                },
+            );
+            (layered.latency(), e.latency(), g.latency)
+        };
+        println!(
+            "{:>4} {:>11.0}% {:>14} {:>14} {:>12} {:>14.2}",
+            rate,
+            100.0 / rate as f64,
+            layered,
+            emodel_lat,
+            gopt_lat,
+            emodel_lat as f64 / d as f64,
+        );
+    }
+
+    println!(
+        "\nreading: the baseline's latency explodes with r (every hop waits out\n\
+         the barrier *and* the cycle), while the pipelined schemes pay roughly\n\
+         one expected cycle wait per hop — the broadcast latency follows\n\
+         Theorem 1's 2r(d+2) envelope instead of 17·k·d."
+    );
+}

@@ -1,0 +1,82 @@
+//! # mlbs — Minimum Latency Broadcasting with Conflict Awareness
+//!
+//! A full reproduction of *Jiang, Wu, Guo, Wu, Kline, Wang — "Minimum
+//! Latency Broadcasting with Conflict Awareness in Wireless Sensor
+//! Networks" (ICPP 2012)* as a Rust workspace: the pipelined conflict-aware
+//! broadcast schedulers (OPT, G-OPT, E-model), every substrate they stand
+//! on (unit-disk topologies, duty-cycle wake schedules, the protocol
+//! interference model, conflict-aware coloring), the baselines they are
+//! evaluated against, and a simulation harness regenerating every table
+//! and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace's public API under stable
+//! module names so applications depend on one crate:
+//!
+//! ```
+//! use mlbs::prelude::*;
+//!
+//! // Deploy 150 nodes on the paper's 50×50 sq-ft area (§V-A).
+//! let (topo, source) = SyntheticDeployment::paper(150).sample(7);
+//!
+//! // Schedule a broadcast with the practical E-model scheme…
+//! let emodel = EModel::build(&topo, &AlwaysAwake);
+//! let schedule = run_pipeline(
+//!     &topo, source, &AlwaysAwake,
+//!     &mut EModelSelector::new(&emodel),
+//!     &PipelineConfig::default(),
+//! );
+//! schedule.verify(&topo, &AlwaysAwake).unwrap();
+//!
+//! // …and compare with the exact G-OPT search and the layered baseline.
+//! let gopt = solve_gopt(&topo, source, &AlwaysAwake, &SearchConfig::default());
+//! let baseline = schedule_26_approx(&topo, source);
+//! assert!(gopt.latency <= schedule.latency());
+//! assert!(schedule.latency() <= baseline.latency());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | backing crate | contents |
+//! |--------|---------------|----------|
+//! | [`core`] | `mlbs-core` | schedulers, E-model, time counter searches, bounds |
+//! | [`topology`] | `wsn-topology` | deployments, UDG adjacency, metrics, fixtures |
+//! | [`geom`] | `wsn-geom` | hulls, quadrants, angular analysis |
+//! | [`bitset`] | `wsn-bitset` | dense node sets |
+//! | [`dutycycle`] | `wsn-dutycycle` | wake schedules, CWT |
+//! | [`interference`] | `wsn-interference` | conflict model, collision resolution |
+//! | [`coloring`] | `wsn-coloring` | greedy scheme, Eq. (1) validity, enumeration |
+//! | [`baselines`] | `wsn-baselines` | 26-/17-approximation, CDS, flooding |
+//! | [`sim`] | `wsn-sim` | experiment sweeps, statistics, CSV |
+
+pub use mlbs_core as core;
+pub use wsn_baselines as baselines;
+pub use wsn_bitset as bitset;
+pub use wsn_coloring as coloring;
+pub use wsn_distributed as distributed;
+pub use wsn_dutycycle as dutycycle;
+pub use wsn_geom as geom;
+pub use wsn_interference as interference;
+pub use wsn_sim as sim;
+pub use wsn_topology as topology;
+
+/// The names most applications need, importable in one line.
+pub mod prelude {
+    pub use mlbs_core::{
+        bounds, run_pipeline, solve_gopt, solve_opt, ColorSelector, EModel, EModelSelector,
+        MaxReceiversSelector, PipelineConfig, Schedule, ScheduleEntry, ScheduleError,
+        SearchConfig, SearchOutcome,
+    };
+    pub use wsn_baselines::{
+        flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered,
+        schedule_layered, LayeredMode,
+    };
+    pub use wsn_bitset::NodeSet;
+    pub use wsn_coloring::{eligible_senders, greedy_coloring, validate_coloring};
+    pub use wsn_dutycycle::{AlwaysAwake, ExplicitSchedule, Slot, WakeSchedule, WindowedRandom};
+    pub use wsn_geom::{Point, Quadrant, Rect};
+    pub use wsn_distributed::{distributed_emodel, localized_broadcast, LocalizedOutcome};
+    pub use wsn_sim::{run_instance, Algorithm, Regime, Summary, Sweep};
+    pub use wsn_topology::{
+        deploy::SyntheticDeployment, fixtures, metrics, NodeId, Topology,
+    };
+}

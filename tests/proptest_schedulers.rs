@@ -1,0 +1,108 @@
+//! Cross-crate property tests: every scheduler, on arbitrary connected
+//! deployments and wake schedules, must emit schedules that survive the
+//! independent verifier and respect the algebraic orderings the paper
+//! proves.
+
+use mlbs::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary connected paper-style deployments (by seed, so shrinking
+/// shrinks the seed — deployments themselves stay valid by construction).
+fn arb_instance() -> impl Strategy<Value = (Topology, NodeId)> {
+    (40usize..120, 0u64..1_000).prop_map(|(n, seed)| {
+        SyntheticDeployment::paper(n).sample(seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sync_schedules_verify_and_order((topo, src) in arb_instance()) {
+        let cfg = SearchConfig::default();
+        let baseline = schedule_26_approx(&topo, src);
+        baseline.verify(&topo, &AlwaysAwake).unwrap();
+
+        let em = EModel::build(&topo, &AlwaysAwake);
+        let practical = run_pipeline(
+            &topo, src, &AlwaysAwake,
+            &mut EModelSelector::new(&em),
+            &PipelineConfig::default(),
+        );
+        practical.verify(&topo, &AlwaysAwake).unwrap();
+
+        let gopt = solve_gopt(&topo, src, &AlwaysAwake, &cfg);
+        gopt.schedule.verify(&topo, &AlwaysAwake).unwrap();
+
+        // Orderings: G-OPT optimal over greedy colors ⇒ ≤ any pipeline run;
+        // eccentricity is a hard lower bound; Theorem 1 caps G-OPT.
+        let d = bounds::source_eccentricity(&topo, src) as u64;
+        prop_assert!(gopt.latency <= practical.latency());
+        prop_assert!(gopt.latency >= d);
+        prop_assert!(gopt.latency <= bounds::opt_bound_sync(d as u32));
+    }
+
+    #[test]
+    fn duty_schedules_verify_and_bound(
+        (topo, src) in arb_instance(),
+        rate in prop::sample::select(vec![5u32, 10, 50]),
+        wake_seed in 0u64..1_000,
+    ) {
+        let wake = WindowedRandom::new(topo.len(), rate, wake_seed);
+        let layered = schedule_17_approx(&topo, src, &wake, 1);
+        layered.verify(&topo, &wake).unwrap();
+
+        let em = EModel::build(&topo, &wake);
+        let practical = run_pipeline(
+            &topo, src, &wake,
+            &mut EModelSelector::new(&em),
+            &PipelineConfig::default(),
+        );
+        practical.verify(&topo, &wake).unwrap();
+
+        let gopt = solve_gopt(&topo, src, &wake, &SearchConfig {
+            max_states: 300_000,
+            ..SearchConfig::default()
+        });
+        gopt.schedule.verify(&topo, &wake).unwrap();
+
+        let d = bounds::source_eccentricity(&topo, src);
+        prop_assert!(gopt.latency <= practical.latency());
+        if gopt.exact {
+            prop_assert!(
+                gopt.latency <= bounds::opt_bound_duty(d, rate),
+                "Theorem 1 duty bound violated: {} > 2·{rate}·({d}+2)",
+                gopt.latency
+            );
+        }
+    }
+
+    #[test]
+    fn rate_one_duty_cycle_equals_sync((topo, src) in arb_instance(), seed in 0u64..100) {
+        // The synchronous system is the r = 1 special case of the duty
+        // cycle model: every window of length 1 has its single slot active.
+        let wake = WindowedRandom::new(topo.len(), 1, seed);
+        let g_sync = solve_gopt(&topo, src, &AlwaysAwake, &SearchConfig::default());
+        let g_duty = solve_gopt(&topo, src, &wake, &SearchConfig::default());
+        prop_assert_eq!(g_sync.latency, g_duty.latency);
+
+        let em_sync = EModel::build(&topo, &AlwaysAwake);
+        let em_duty = EModel::build(&topo, &wake);
+        for u in topo.nodes() {
+            for q in Quadrant::ALL {
+                prop_assert_eq!(em_sync.value(u, q), em_duty.value(u, q));
+            }
+        }
+    }
+
+    #[test]
+    fn transmissions_bounded_by_nodes((topo, src) in arb_instance()) {
+        // Conflict-free advances inform every neighbor of a sender, so no
+        // node ever needs to transmit twice; total transmissions ≤ n − 1
+        // (leaf receivers never send) and ≥ something that dominates depth.
+        let gopt = solve_gopt(&topo, src, &AlwaysAwake, &SearchConfig::default());
+        let tx = gopt.schedule.transmission_count();
+        prop_assert!(tx < topo.len());
+        prop_assert!(tx as u64 >= bounds::source_eccentricity(&topo, src) as u64);
+    }
+}

@@ -143,8 +143,7 @@ mod tests {
             // Domination: every node is in the CDS or adjacent to a member.
             for u in topo.nodes() {
                 assert!(
-                    cds.contains(u.idx())
-                        || topo.neighbor_set(u).intersects(&cds),
+                    cds.contains(u.idx()) || topo.neighbor_set(u).intersects(&cds),
                     "node {u} undominated"
                 );
             }

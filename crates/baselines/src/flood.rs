@@ -111,7 +111,9 @@ mod tests {
         // On a path there are never two concurrent senders with a common
         // uninformed neighbor… except siblings; a 1-D path floods cleanly.
         let topo = wsn_topology::Topology::unit_disk(
-            (0..6).map(|i| wsn_geom::Point::new(i as f64, 0.0)).collect(),
+            (0..6)
+                .map(|i| wsn_geom::Point::new(i as f64, 0.0))
+                .collect(),
             1.0,
         );
         let out = flood_once(&topo, NodeId(0), &AlwaysAwake, 1, 100);

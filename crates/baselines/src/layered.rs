@@ -100,10 +100,7 @@ struct LayerRun<'a, S: WakeSchedule> {
 impl<S: WakeSchedule> LayerRun<'_, S> {
     /// `true` while `u` still has an uninformed neighbor.
     fn still_useful(&self, u: NodeId) -> bool {
-        self.topo
-            .neighbor_set(u)
-            .difference_len(&self.informed)
-            > 0
+        self.topo.neighbor_set(u).difference_len(&self.informed) > 0
     }
 
     /// Transmits `senders` (assumed conflict-free) in slot `self.t`.
@@ -343,15 +340,17 @@ mod tests {
     fn trivial_networks() {
         // Two nodes: one transmission.
         let topo = wsn_topology::Topology::unit_disk(
-            vec![wsn_geom::Point::new(0.0, 0.0), wsn_geom::Point::new(1.0, 0.0)],
+            vec![
+                wsn_geom::Point::new(0.0, 0.0),
+                wsn_geom::Point::new(1.0, 0.0),
+            ],
             1.5,
         );
         let s = schedule_26_approx(&topo, NodeId(0));
         s.verify(&topo, &AlwaysAwake).unwrap();
         assert_eq!(s.latency(), 1);
         // Single node: empty schedule.
-        let topo1 =
-            wsn_topology::Topology::unit_disk(vec![wsn_geom::Point::new(0.0, 0.0)], 1.0);
+        let topo1 = wsn_topology::Topology::unit_disk(vec![wsn_geom::Point::new(0.0, 0.0)], 1.0);
         let s1 = schedule_26_approx(&topo1, NodeId(0));
         assert!(s1.entries.is_empty());
     }

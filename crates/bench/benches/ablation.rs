@@ -46,13 +46,15 @@ fn bench_coloring_staleness(c: &mut Criterion) {
     let cfg = SearchConfig::default();
     for nodes in [100usize, 300] {
         let (topo, src) = SyntheticDeployment::paper(nodes).sample(6);
-        for alg in [Algorithm::Layered, Algorithm::LayeredRecolor, Algorithm::CdsLayered] {
+        for alg in [
+            Algorithm::Layered,
+            Algorithm::LayeredRecolor,
+            Algorithm::CdsLayered,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{alg:?}"), nodes),
                 &nodes,
-                |b, _| {
-                    b.iter(|| run_instance(black_box(&topo), src, Regime::Sync, alg, 7, &cfg))
-                },
+                |b, _| b.iter(|| run_instance(black_box(&topo), src, Regime::Sync, alg, 7, &cfg)),
             );
         }
     }
@@ -64,8 +66,7 @@ fn bench_emodel_directionality(c: &mut Criterion) {
     // distance-to-edge estimate. Latencies are embedded in the bench names;
     // wall time compares the two constructions + pipeline runs.
     use mlbs_core::{
-        run_pipeline, EModel, EModelSelector, PipelineConfig, ScalarESelector,
-        ScalarEdgeDistance,
+        run_pipeline, EModel, EModelSelector, PipelineConfig, ScalarESelector, ScalarEdgeDistance,
     };
     let mut group = c.benchmark_group("emodel_directionality");
     group.sample_size(10);
@@ -131,14 +132,9 @@ fn bench_localized_vs_centralized(c: &mut Criterion) {
         &mut EModelSelector::new(&em),
         &PipelineConfig::default(),
     );
-    group.bench_function(
-        format!("localized(P={})", local.schedule.latency()),
-        |b| {
-            b.iter(|| {
-                wsn_distributed::localized_broadcast(black_box(&topo), src, &AlwaysAwake, &em, 1)
-            })
-        },
-    );
+    group.bench_function(format!("localized(P={})", local.schedule.latency()), |b| {
+        b.iter(|| wsn_distributed::localized_broadcast(black_box(&topo), src, &AlwaysAwake, &em, 1))
+    });
     group.bench_function(format!("centralized(P={})", central.latency()), |b| {
         b.iter(|| {
             run_pipeline(

@@ -75,7 +75,11 @@ fn bench_duty(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = wsn_bench::search_for(Regime::Duty { rate: 50 });
     let (topo, src) = SyntheticDeployment::paper(200).sample(42);
-    for alg in [Algorithm::Layered, Algorithm::EModelPipeline, Algorithm::GOpt] {
+    for alg in [
+        Algorithm::Layered,
+        Algorithm::EModelPipeline,
+        Algorithm::GOpt,
+    ] {
         group.bench_function(format!("{:?}/200", alg), |b| {
             b.iter(|| {
                 run_instance(

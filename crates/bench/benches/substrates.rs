@@ -16,9 +16,7 @@ fn bench_topology(c: &mut Criterion) {
         let (topo, _) = SyntheticDeployment::paper(nodes).sample(1);
         let positions = topo.positions().to_vec();
         group.bench_with_input(BenchmarkId::new("udg_build", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                wsn_topology::Topology::unit_disk(black_box(positions.clone()), 10.0)
-            })
+            b.iter(|| wsn_topology::Topology::unit_disk(black_box(positions.clone()), 10.0))
         });
         group.bench_with_input(BenchmarkId::new("edge_nodes", nodes), &nodes, |b, _| {
             b.iter(|| wsn_topology::boundary::edge_nodes(black_box(&topo)))
@@ -32,8 +30,7 @@ fn bench_coloring(c: &mut Criterion) {
     let (topo, src) = SyntheticDeployment::paper(300).sample(2);
     // A mid-broadcast informed set: everything within 2 hops of the source.
     let hops = wsn_topology::metrics::bfs_hops(&topo, src);
-    let informed =
-        NodeSet::from_indices(topo.len(), (0..topo.len()).filter(|&u| hops[u] <= 2));
+    let informed = NodeSet::from_indices(topo.len(), (0..topo.len()).filter(|&u| hops[u] <= 2));
     let candidates = eligible_senders(&topo, &informed);
     group.bench_function("greedy_coloring/300", |b| {
         b.iter(|| greedy_coloring(black_box(&topo), black_box(&informed)))

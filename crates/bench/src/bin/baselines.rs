@@ -23,7 +23,8 @@ fn main() {
     for n in [50usize, 100, 150, 200, 250, 300] {
         let mut sums = [0.0f64; 5];
         for i in 0..opts.instances as u64 {
-            let (topo, src) = SyntheticDeployment::paper(n).sample(derive_seed(opts.seed, n as u64, i));
+            let (topo, src) =
+                SyntheticDeployment::paper(n).sample(derive_seed(opts.seed, n as u64, i));
             for (k, alg) in [
                 Algorithm::LayeredPrecomputed,
                 Algorithm::Layered,

@@ -46,7 +46,9 @@ fn main() {
 
     println!("=== synchronous system ===");
     let mut sweep = opts.sweep(Regime::Sync);
-    sweep.algorithms.push(wsn_sim::Algorithm::LayeredPrecomputed);
+    sweep
+        .algorithms
+        .push(wsn_sim::Algorithm::LayeredPrecomputed);
     let sync = sweep.run();
     let imp_sync = sync.mean_improvement("OPT", "26-approx");
     let imp_rigid = sync.mean_improvement("OPT", "layered-precomputed");

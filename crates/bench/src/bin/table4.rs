@@ -11,10 +11,7 @@ use wsn_topology::fixtures;
 
 fn main() {
     let f = fixtures::fig2a();
-    let wake = ExplicitSchedule::new(
-        vec![vec![2], vec![4, 13], vec![4], vec![9], vec![9]],
-        20,
-    );
+    let wake = ExplicitSchedule::new(vec![vec![2], vec![4, 13], vec![4], vec![9], vec![9]], 20);
     let out = solve_gopt(
         &f.topo,
         f.source,

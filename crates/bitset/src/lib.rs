@@ -118,7 +118,11 @@ impl NodeSet {
     /// Panics if `idx` is outside the universe.
     #[inline]
     pub fn insert(&mut self, idx: usize) -> bool {
-        assert!(idx < self.universe, "index {idx} out of universe {}", self.universe);
+        assert!(
+            idx < self.universe,
+            "index {idx} out of universe {}",
+            self.universe
+        );
         let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
         let mask = 1u64 << b;
         let fresh = self.words[w] & mask == 0;
@@ -129,7 +133,11 @@ impl NodeSet {
     /// Removes `idx`; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, idx: usize) -> bool {
-        assert!(idx < self.universe, "index {idx} out of universe {}", self.universe);
+        assert!(
+            idx < self.universe,
+            "index {idx} out of universe {}",
+            self.universe
+        );
         let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
         let mask = 1u64 << b;
         let present = self.words[w] & mask != 0;

@@ -73,10 +73,7 @@ impl NodeSet {
     #[inline]
     pub fn intersects(&self, other: &NodeSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// `true` when `self ∩ a ∩ b` is non-empty, without allocating.

@@ -104,7 +104,15 @@ mod tests {
         // W = {s, 0, 1, 2, 3, 4, 10} (after launching node 1's relay):
         // Table III gives C1 = {0, 4}, C2 = {3}, C3 = {10}.
         let f = fixtures::fig1();
-        let ids = [f.source, f.id("0"), f.id("1"), f.id("2"), f.id("3"), f.id("4"), f.id("10")];
+        let ids = [
+            f.source,
+            f.id("0"),
+            f.id("1"),
+            f.id("2"),
+            f.id("3"),
+            f.id("4"),
+            f.id("10"),
+        ];
         let w = NodeSet::from_indices(12, ids.iter().map(|u| u.idx()));
         let classes = greedy_coloring(&f.topo, &w);
         assert_eq!(classes.len(), 3);
@@ -118,7 +126,16 @@ mod tests {
         // W = {s, 0, 1, 2, 3, 5, 6, 7}: Table III gives C1 = {3},
         // C2 = {1, 6}.
         let f = fixtures::fig1();
-        let ids = [f.source, f.id("0"), f.id("1"), f.id("2"), f.id("3"), f.id("5"), f.id("6"), f.id("7")];
+        let ids = [
+            f.source,
+            f.id("0"),
+            f.id("1"),
+            f.id("2"),
+            f.id("3"),
+            f.id("5"),
+            f.id("6"),
+            f.id("7"),
+        ];
         let w = NodeSet::from_indices(12, ids.iter().map(|u| u.idx()));
         let classes = greedy_coloring(&f.topo, &w);
         assert_eq!(classes.len(), 2);

@@ -138,8 +138,7 @@ mod tests {
     fn intra_color_conflict_rejected() {
         let f = fixtures::fig2a();
         let w = NodeSet::from_indices(5, [0, 1, 2]);
-        let err =
-            validate_coloring(&f.topo, &w, &[vec![f.id("2"), f.id("3")]]).unwrap_err();
+        let err = validate_coloring(&f.topo, &w, &[vec![f.id("2"), f.id("3")]]).unwrap_err();
         assert!(matches!(err, ColoringViolation::IntraColorConflict(_, _)));
     }
 
@@ -148,7 +147,15 @@ mod tests {
         let f = fixtures::fig1();
         // 0 and 4 do not conflict at W = {s,0,1,2,3,4,10}; separating them
         // into two colors violates constraint 4.
-        let ids = [f.source, f.id("0"), f.id("1"), f.id("2"), f.id("3"), f.id("4"), f.id("10")];
+        let ids = [
+            f.source,
+            f.id("0"),
+            f.id("1"),
+            f.id("2"),
+            f.id("3"),
+            f.id("4"),
+            f.id("10"),
+        ];
         let w = NodeSet::from_indices(12, ids.iter().map(|u| u.idx()));
         let classes = vec![vec![f.id("0")], vec![f.id("4")]];
         let err = validate_coloring(&f.topo, &w, &classes).unwrap_err();
@@ -159,12 +166,7 @@ mod tests {
     fn duplicate_rejected() {
         let f = fixtures::fig2a();
         let w = NodeSet::from_indices(5, [0, 1, 2]);
-        let err = validate_coloring(
-            &f.topo,
-            &w,
-            &[vec![f.id("2")], vec![f.id("2")]],
-        )
-        .unwrap_err();
+        let err = validate_coloring(&f.topo, &w, &[vec![f.id("2")], vec![f.id("2")]]).unwrap_err();
         assert_eq!(err, ColoringViolation::DuplicateNode(f.id("2")));
     }
 

@@ -184,10 +184,7 @@ mod tests {
         let f = fixtures::fig2a();
         // Table IV timing: source wakes at 2; nodes "2" and "3" wake at 4;
         // "2" again at 13 (r = 10).
-        let wake = ExplicitSchedule::new(
-            vec![vec![2], vec![4, 13], vec![4], vec![9], vec![9]],
-            20,
-        );
+        let wake = ExplicitSchedule::new(vec![vec![2], vec![4, 13], vec![4], vec![9], vec![9]], 20);
         let s = run_pipeline(
             &f.topo,
             f.source,
@@ -222,7 +219,10 @@ mod tests {
     #[should_panic(expected = "broadcast cannot complete")]
     fn disconnected_topology_panics() {
         let topo = wsn_topology::Topology::unit_disk(
-            vec![wsn_geom::Point::new(0.0, 0.0), wsn_geom::Point::new(9.0, 0.0)],
+            vec![
+                wsn_geom::Point::new(0.0, 0.0),
+                wsn_geom::Point::new(9.0, 0.0),
+            ],
             1.0,
         );
         run_pipeline(

@@ -69,11 +69,7 @@ impl Schedule {
     ///    independently of the scheduler via receiver-side collision
     ///    resolution;
     /// 4. every node is informed by the end (full coverage).
-    pub fn verify<S: WakeSchedule>(
-        &self,
-        topo: &Topology,
-        wake: &S,
-    ) -> Result<(), ScheduleError> {
+    pub fn verify<S: WakeSchedule>(&self, topo: &Topology, wake: &S) -> Result<(), ScheduleError> {
         let n = topo.len();
         let mut informed = NodeSet::new(n);
         informed.insert(self.source.idx());
@@ -296,10 +292,7 @@ mod tests {
         let (s, f) = table2_schedule();
         // Node "1" (id 0) only wakes at slot 3 — its slot-1 transmission is
         // illegal under this duty cycle.
-        let wake = ExplicitSchedule::new(
-            vec![vec![3], vec![2], vec![2], vec![2], vec![2]],
-            10,
-        );
+        let wake = ExplicitSchedule::new(vec![vec![3], vec![2], vec![2], vec![2], vec![2]], 10);
         assert!(matches!(
             s.verify(&f.topo, &wake).unwrap_err(),
             ScheduleError::AsleepSender { .. }

@@ -546,10 +546,7 @@ mod tests {
         // Table III's optimal second advance launches node 1's color.
         assert_eq!(out.schedule.entries[1].senders, vec![f.id("1")]);
         // And the third advance is {0, 4} covering {5,6,7,8,9}.
-        assert_eq!(
-            out.schedule.entries[2].senders,
-            vec![f.id("0"), f.id("4")]
-        );
+        assert_eq!(out.schedule.entries[2].senders, vec![f.id("0"), f.id("4")]);
     }
 
     #[test]
@@ -575,10 +572,7 @@ mod tests {
         // optimum completes at slot 4 (P(A) = 4 in the paper's absolute
         // numbering; elapsed latency 3).
         let f = fixtures::fig2a();
-        let wake = ExplicitSchedule::new(
-            vec![vec![2], vec![4, 13], vec![4], vec![9], vec![9]],
-            20,
-        );
+        let wake = ExplicitSchedule::new(vec![vec![2], vec![4, 13], vec![4], vec![9], vec![9]], 20);
         let out = solve_gopt(
             &f.topo,
             f.source,
@@ -641,8 +635,7 @@ mod tests {
 
     #[test]
     fn search_on_single_node() {
-        let topo =
-            wsn_topology::Topology::unit_disk(vec![wsn_geom::Point::new(0.0, 0.0)], 1.0);
+        let topo = wsn_topology::Topology::unit_disk(vec![wsn_geom::Point::new(0.0, 0.0)], 1.0);
         let out = solve_gopt(&topo, NodeId(0), &AlwaysAwake, &SearchConfig::default());
         assert_eq!(out.latency, 0);
         assert!(out.exact);

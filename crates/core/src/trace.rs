@@ -70,7 +70,11 @@ impl SearchTrace {
                     .jumped_to
                     .map(|t| format!("jump to {t}"))
                     .unwrap_or_else(|| "-".into());
-                let _ = writeln!(out, "{:<38} {:<22} {:<30} {:<10} φ ({jump})", w_str, "N/A", "-", "N/A");
+                let _ = writeln!(
+                    out,
+                    "{:<38} {:<22} {:<30} {:<10} φ ({jump})",
+                    w_str, "N/A", "-", "N/A"
+                );
                 continue;
             }
             for (i, opt) in st.options.iter().enumerate() {
@@ -93,7 +97,11 @@ impl SearchTrace {
                     String::new()
                 };
                 let first_col = if i == 0 { w_str.clone() } else { String::new() };
-                let _ = writeln!(out, "{:<38} {:<22} {:<30} {:<10}", first_col, colors, m, selected);
+                let _ = writeln!(
+                    out,
+                    "{:<38} {:<22} {:<30} {:<10}",
+                    first_col, colors, m, selected
+                );
             }
         }
         out

@@ -97,12 +97,17 @@ pub fn distributed_emodel<S: WakeSchedule>(
             queue.push_back(u);
         }
     }
-    run_phase(topo, wake, &mut values, &mut stats, queue, Some(&phase1_frozen));
+    run_phase(
+        topo,
+        wake,
+        &mut values,
+        &mut stats,
+        queue,
+        Some(&phase1_frozen),
+    );
 
     debug_assert!(
-        values
-            .iter()
-            .all(|t| t.iter().all(|v| v.is_finite())),
+        values.iter().all(|t| t.iter().all(|v| v.is_finite())),
         "strict quadrant order guarantees convergence"
     );
     (values, stats)

@@ -56,12 +56,7 @@ impl NeighborhoodKnowledge {
     /// endpoints' local tests, which is why candidacy announcements carry
     /// the announcer's neighbor set — taken from `topo` here because the
     /// simulation's beacons delivered it in a previous round.
-    pub fn conflicts_locally(
-        &self,
-        topo: &Topology,
-        other: NodeId,
-        uninformed: &NodeSet,
-    ) -> bool {
+    pub fn conflicts_locally(&self, topo: &Topology, other: NodeId, uninformed: &NodeSet) -> bool {
         self.neighbors
             .triple_intersects(topo.neighbor_set(other), uninformed)
     }

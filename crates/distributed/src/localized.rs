@@ -178,7 +178,10 @@ pub fn localized_broadcast<S: WakeSchedule>(
             .filter(|&i| status[i] == Status::Winner)
             .map(|i| awake[i])
             .collect();
-        debug_assert!(!winners.is_empty(), "the top-priority candidate never defers");
+        debug_assert!(
+            !winners.is_empty(),
+            "the top-priority candidate never defers"
+        );
 
         let mut advance = NodeSet::new(n);
         for &u in &winners {
@@ -342,9 +345,6 @@ mod tests {
         let out = localized_broadcast(&topo, src, &AlwaysAwake, &em, 1);
         // Two messages per candidate-slot; candidates ≤ n per slot.
         assert!(out.stats.candidacy_messages >= 2 * out.schedule.entries.len());
-        assert!(
-            out.stats.candidacy_messages
-                <= 2 * topo.len() * out.schedule.entries.len()
-        );
+        assert!(out.stats.candidacy_messages <= 2 * topo.len() * out.schedule.entries.len());
     }
 }

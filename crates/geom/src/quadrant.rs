@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn quadrant_classification_covers_plane() {
         let o = Point::new(10.0, 10.0);
-        assert_eq!(Quadrant::of(&o, &Point::new(11.0, 11.0)), Some(Quadrant::Q1));
+        assert_eq!(
+            Quadrant::of(&o, &Point::new(11.0, 11.0)),
+            Some(Quadrant::Q1)
+        );
         assert_eq!(Quadrant::of(&o, &Point::new(9.0, 11.0)), Some(Quadrant::Q2));
         assert_eq!(Quadrant::of(&o, &Point::new(9.0, 9.0)), Some(Quadrant::Q3));
         assert_eq!(Quadrant::of(&o, &Point::new(11.0, 9.0)), Some(Quadrant::Q4));
@@ -117,7 +120,8 @@ mod tests {
         assert_eq!(Quadrant::of(&o, &Point::new(1.0, 0.0)), Some(Quadrant::Q1)); // +x
         assert_eq!(Quadrant::of(&o, &Point::new(0.0, 1.0)), Some(Quadrant::Q2)); // +y
         assert_eq!(Quadrant::of(&o, &Point::new(-1.0, 0.0)), Some(Quadrant::Q3)); // -x
-        assert_eq!(Quadrant::of(&o, &Point::new(0.0, -1.0)), Some(Quadrant::Q4)); // -y
+        assert_eq!(Quadrant::of(&o, &Point::new(0.0, -1.0)), Some(Quadrant::Q4));
+        // -y
     }
 
     #[test]

@@ -4,7 +4,10 @@ use proptest::prelude::*;
 use wsn_geom::{convex_hull, max_angular_gap, polygon_area, Point, Quadrant};
 
 fn arb_points() -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0f64..50.0, 0.0f64..50.0).prop_map(|(x, y)| Point::new(x, y)), 3..60)
+    prop::collection::vec(
+        (0.0f64..50.0, 0.0f64..50.0).prop_map(|(x, y)| Point::new(x, y)),
+        3..60,
+    )
 }
 
 /// `true` when `p` lies inside or on the convex polygon `hull` (CCW order).

@@ -136,7 +136,9 @@ pub fn resolve_receptions(
     let mut received = NodeSet::new(n);
     let mut collided = NodeSet::new(n);
     for w in uninformed.iter() {
-        let heard = topo.neighbor_set(NodeId(w as u32)).intersection_len(senders);
+        let heard = topo
+            .neighbor_set(NodeId(w as u32))
+            .intersection_len(senders);
         match heard {
             0 => {}
             1 => {
@@ -160,11 +162,11 @@ mod tests {
     fn diamond() -> Topology {
         Topology::unit_disk(
             vec![
-                Point::new(0.0, 0.0),   // 0
-                Point::new(0.9, 0.7),   // 1
-                Point::new(0.9, -0.7),  // 2
-                Point::new(1.8, 0.0),   // 3
-                Point::new(1.4, 1.5),   // 4
+                Point::new(0.0, 0.0),  // 0
+                Point::new(0.9, 0.7),  // 1
+                Point::new(0.9, -0.7), // 2
+                Point::new(1.8, 0.0),  // 3
+                Point::new(1.4, 1.5),  // 4
             ],
             1.2,
         )

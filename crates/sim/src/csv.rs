@@ -100,7 +100,10 @@ mod tests {
     fn csv_has_expected_rows_and_header() {
         let csv = sweep_to_csv(&sample_result());
         let lines: Vec<&str> = csv.trim_end().lines().collect();
-        assert_eq!(lines[0], "regime,nodes,density,series,mean,std,min,max,count");
+        assert_eq!(
+            lines[0],
+            "regime,nodes,density,series,mean,std,min,max,count"
+        );
         // 1 point × (2 algorithms + 2 analytic series) = 4 data rows.
         assert_eq!(lines.len(), 1 + 4);
         assert!(lines[1].starts_with("sync,50,0.0200,26-approx,"));

@@ -38,7 +38,8 @@ pub use sweep::{Sweep, SweepPointResult, SweepResult};
 /// Derives a stream seed from a master seed and context labels
 /// (SplitMix64 over the mixed words).
 pub fn derive_seed(master: u64, a: u64, b: u64) -> u64 {
-    let mut x = master ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    let mut x =
+        master ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)

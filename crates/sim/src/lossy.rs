@@ -11,7 +11,7 @@
 
 use mlbs_core::Schedule;
 use wsn_bitset::NodeSet;
-use wsn_topology::{NodeId, Topology};
+use wsn_topology::Topology;
 
 /// SplitMix64 step for the loss draws (self-contained; keeps the module
 /// deterministic without threading an external RNG through the replay).
@@ -48,16 +48,11 @@ impl LossyOutcome {
 /// lost) skips its slot — it has nothing to relay; the replay records the
 /// cascade. Interference is not re-checked: the schedule was conflict-free
 /// and losing transmissions only removes signals.
-pub fn replay_lossy(
-    topo: &Topology,
-    schedule: &Schedule,
-    loss: f64,
-    seed: u64,
-) -> LossyOutcome {
+pub fn replay_lossy(topo: &Topology, schedule: &Schedule, loss: f64, seed: u64) -> LossyOutcome {
     assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
     let n = topo.len();
     // Tag decorrelates loss draws from other uses of the same seed.
-    let mut rng = seed ^ 0x5eed_0f_da_7a_u64;
+    let mut rng = seed ^ 0x005e_ed0f_da7a_u64;
     let mut covered = NodeSet::new(n);
     covered.insert(schedule.source.idx());
     let mut lost = 0;
@@ -161,7 +156,10 @@ mod tests {
         let c_red = mean_coverage(&topo, &redundant, 0.2, 30, 11);
         // Not asserted strictly (both lose coverage); report-style check:
         // both are hurt, and the lean schedule is not *more* robust.
-        assert!(c_lean <= c_red + 0.05, "lean {c_lean:.3} vs redundant {c_red:.3}");
+        assert!(
+            c_lean <= c_red + 0.05,
+            "lean {c_lean:.3} vs redundant {c_red:.3}"
+        );
     }
 
     #[test]

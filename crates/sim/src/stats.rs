@@ -3,13 +3,21 @@
 /// Mean / standard deviation / extremes over a stream of samples
 /// (Welford's online algorithm, so a million-sample sweep needs no
 /// buffering).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Summary {
     count: usize,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Summary {
+    /// Same as [`Summary::new`] — keeps `.or_default()` bucket creation
+    /// from smuggling in `min = 0.0` instead of the empty sentinel.
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -133,6 +141,12 @@ mod tests {
     fn empty_and_single() {
         let s = Summary::new();
         assert_eq!(s.count(), 0);
+        // `or_default()` bucket creation must match `new()`: a default
+        // summary carries the empty sentinels, not zeros, so the first
+        // pushed sample sets `min` correctly.
+        let mut d = Summary::default();
+        d.push(8.0);
+        assert_eq!(d.min(), 8.0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.std_dev(), 0.0);
         let mut one = Summary::new();

@@ -1,8 +1,8 @@
 //! The density-sweep experiment: Figures 3, 4 and 6.
 
 use crate::algorithm::{run_instance, Algorithm, Regime};
-use crate::stats::Summary;
 use crate::derive_seed;
+use crate::stats::Summary;
 use mlbs_core::SearchConfig;
 use std::collections::HashMap;
 use wsn_topology::deploy::SyntheticDeployment;
@@ -50,8 +50,7 @@ impl Sweep {
             .flat_map(|&n| (0..self.instances).map(move |i| (n, i)))
             .collect();
 
-        // One result bucket per (node count, algorithm); filled from a
-        // result channel so aggregation order never depends on scheduling.
+        // One result bucket per (node count, algorithm).
         let mut latency: HashMap<(usize, Algorithm), Summary> = HashMap::new();
         let mut transmissions: HashMap<(usize, Algorithm), Summary> = HashMap::new();
         let mut opt_analysis: HashMap<usize, Summary> = HashMap::new();
@@ -59,59 +58,66 @@ impl Sweep {
         let mut eccentricity: HashMap<usize, Summary> = HashMap::new();
         let mut inexact = 0usize;
 
-        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, usize)>();
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<InstanceRecord>();
-        for job in jobs {
-            job_tx.send(job).expect("queue open");
-        }
-        drop(job_tx);
+        // Work distribution: an atomic cursor over the job list (an MPMC
+        // queue in miniature) feeding an mpsc result channel. Records are
+        // tagged with their job index and aggregated in job order below:
+        // Welford accumulation is not permutation-invariant in floating
+        // point, and sorting is what makes sweep results bit-identical
+        // regardless of thread count (the property the tests assert).
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, InstanceRecord)>();
+        let next_job = std::sync::atomic::AtomicUsize::new(0);
 
         let workers = self.threads.max(1);
-        std::thread::scope(|scope| {
+        let mut records = std::thread::scope(|scope| {
             for _ in 0..workers {
-                let job_rx = job_rx.clone();
                 let res_tx = res_tx.clone();
                 let sweep = &*self;
-                scope.spawn(move || {
-                    while let Ok((nodes, instance)) = job_rx.recv() {
-                        let rec = sweep.run_one(nodes, instance);
-                        if res_tx.send(rec).is_err() {
-                            return;
-                        }
+                let (jobs, next_job) = (&jobs, &next_job);
+                scope.spawn(move || loop {
+                    let k = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(nodes, instance)) = jobs.get(k) else {
+                        return;
+                    };
+                    let rec = sweep.run_one(nodes, instance);
+                    if res_tx.send((k, rec)).is_err() {
+                        return;
                     }
                 });
             }
             drop(res_tx);
-            while let Ok(rec) = res_rx.recv() {
-                for (alg, r) in &rec.runs {
-                    latency
-                        .entry((rec.nodes, *alg))
-                        .or_default()
-                        .push(r.latency as f64);
-                    transmissions
-                        .entry((rec.nodes, *alg))
-                        .or_default()
-                        .push(r.transmissions as f64);
-                    if r.exact == Some(false) {
-                        inexact += 1;
-                    }
-                }
-                if let Some((_, first)) = rec.runs.first() {
-                    opt_analysis
-                        .entry(rec.nodes)
-                        .or_default()
-                        .push(first.opt_analysis as f64);
-                    baseline_bound
-                        .entry(rec.nodes)
-                        .or_default()
-                        .push(first.baseline_bound as f64);
-                    eccentricity
-                        .entry(rec.nodes)
-                        .or_default()
-                        .push(first.eccentricity as f64);
+            res_rx.iter().collect::<Vec<_>>()
+        });
+        records.sort_unstable_by_key(|&(k, _)| k);
+
+        for (_, rec) in records {
+            for (alg, r) in &rec.runs {
+                latency
+                    .entry((rec.nodes, *alg))
+                    .or_default()
+                    .push(r.latency as f64);
+                transmissions
+                    .entry((rec.nodes, *alg))
+                    .or_default()
+                    .push(r.transmissions as f64);
+                if r.exact == Some(false) {
+                    inexact += 1;
                 }
             }
-        });
+            if let Some((_, first)) = rec.runs.first() {
+                opt_analysis
+                    .entry(rec.nodes)
+                    .or_default()
+                    .push(first.opt_analysis as f64);
+                baseline_bound
+                    .entry(rec.nodes)
+                    .or_default()
+                    .push(first.baseline_bound as f64);
+                eccentricity
+                    .entry(rec.nodes)
+                    .or_default()
+                    .push(first.eccentricity as f64);
+            }
+        }
 
         let mut points = Vec::new();
         for &nodes in &self.node_counts {
@@ -287,7 +293,11 @@ mod tests {
         for (pa, pb) in a.points.iter().zip(&b.points) {
             for ((na, la, _), (nb, lb, _)) in pa.per_algorithm.iter().zip(&pb.per_algorithm) {
                 assert_eq!(na, nb);
-                assert_eq!(la.mean(), lb.mean(), "algorithm {na} differs across thread counts");
+                assert_eq!(
+                    la.mean(),
+                    lb.mean(),
+                    "algorithm {na} differs across thread counts"
+                );
                 assert_eq!(la.min(), lb.min());
                 assert_eq!(la.max(), lb.max());
             }

@@ -40,7 +40,11 @@ pub fn edge_nodes_with_threshold(topo: &Topology, gap_threshold: f64) -> Vec<Nod
         .collect();
     for u in topo.nodes() {
         let pu = topo.position(u);
-        let neighbor_pts: Vec<_> = topo.neighbors(u).iter().map(|&v| topo.position(v)).collect();
+        let neighbor_pts: Vec<_> = topo
+            .neighbors(u)
+            .iter()
+            .map(|&v| topo.position(v))
+            .collect();
         if max_angular_gap(&pu, &neighbor_pts) >= gap_threshold {
             out.push(u);
         }

@@ -85,10 +85,7 @@ mod tests {
 
     #[test]
     fn connected_path() {
-        let t = Topology::unit_disk(
-            (0..4).map(|i| Point::new(i as f64, 0.0)).collect(),
-            1.0,
-        );
+        let t = Topology::unit_disk((0..4).map(|i| Point::new(i as f64, 0.0)).collect(), 1.0);
         assert!(is_connected(&t));
         let (labels, count) = components(&t);
         assert_eq!(count, 1);
@@ -123,7 +120,11 @@ mod tests {
     #[test]
     fn isolated_node_detected() {
         let t = Topology::unit_disk(
-            vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(30.0, 30.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 0.0),
+                Point::new(30.0, 30.0),
+            ],
             1.0,
         );
         assert!(!is_connected(&t));

@@ -46,8 +46,7 @@ impl Fixture {
             self.labels
                 .iter()
                 .position(|&l| l == label)
-                .unwrap_or_else(|| panic!("no node labeled {label}"))
-                as u32,
+                .unwrap_or_else(|| panic!("no node labeled {label}")) as u32,
         )
     }
 }
@@ -72,18 +71,18 @@ pub fn fig1() -> Fixture {
     // Positions in feet; radius 10 ft as in §V-A (coordinates are the
     // hand-verified unit layout scaled by 10).
     let positions = vec![
-        Point::new(39.0, 5.5),   // 0
-        Point::new(46.0, 12.0),  // 1
-        Point::new(43.0, 7.5),   // 2
-        Point::new(38.0, 13.5),  // 3
-        Point::new(42.5, 18.0),  // 4
-        Point::new(30.0, 4.5),   // 5
-        Point::new(32.0, 7.0),   // 6
-        Point::new(29.5, 8.0),   // 7
-        Point::new(40.0, 21.0),  // 8
-        Point::new(36.2, 15.8),  // 9
-        Point::new(49.0, 17.5),  // 10
-        Point::new(47.0, 3.0),   // s
+        Point::new(39.0, 5.5),  // 0
+        Point::new(46.0, 12.0), // 1
+        Point::new(43.0, 7.5),  // 2
+        Point::new(38.0, 13.5), // 3
+        Point::new(42.5, 18.0), // 4
+        Point::new(30.0, 4.5),  // 5
+        Point::new(32.0, 7.0),  // 6
+        Point::new(29.5, 8.0),  // 7
+        Point::new(40.0, 21.0), // 8
+        Point::new(36.2, 15.8), // 9
+        Point::new(49.0, 17.5), // 10
+        Point::new(47.0, 3.0),  // s
     ];
     let topo = Topology::unit_disk(positions, 10.0);
     Fixture {
@@ -102,11 +101,11 @@ pub fn fig1() -> Fixture {
 pub fn fig2a() -> Fixture {
     // Unit layout scaled so the radius is 10 (distances 1.140 → 9.5).
     let positions = vec![
-        Point::new(0.0, 10.0),           // 1 (source)
-        Point::new(7.5, 15.833),         // 2
-        Point::new(7.5, 4.167),          // 3
-        Point::new(15.0, 10.0),          // 4
-        Point::new(11.667, 22.5),        // 5
+        Point::new(0.0, 10.0),    // 1 (source)
+        Point::new(7.5, 15.833),  // 2
+        Point::new(7.5, 4.167),   // 3
+        Point::new(15.0, 10.0),   // 4
+        Point::new(11.667, 22.5), // 5
     ];
     let topo = Topology::unit_disk(positions, 10.0);
     Fixture {
@@ -123,12 +122,7 @@ mod tests {
     fn assert_adjacency(f: &Fixture, expected: &[(&str, &[&str])]) {
         for &(u, nbrs) in expected {
             let uid = f.id(u);
-            let mut got: Vec<&str> = f
-                .topo
-                .neighbors(uid)
-                .iter()
-                .map(|&v| f.label(v))
-                .collect();
+            let mut got: Vec<&str> = f.topo.neighbors(uid).iter().map(|&v| f.label(v)).collect();
             got.sort_by_key(|l| l.parse::<i32>().unwrap_or(-1));
             let mut want: Vec<&str> = nbrs.to_vec();
             want.sort_by_key(|l| l.parse::<i32>().unwrap_or(-1));

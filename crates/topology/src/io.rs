@@ -47,7 +47,9 @@ impl std::error::Error for ParseError {}
 /// Parses the text format produced by [`to_string`].
 pub fn from_str(s: &str) -> Result<Topology, ParseError> {
     let mut lines = s.lines();
-    let header = lines.next().ok_or_else(|| ParseError("empty input".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseError("empty input".into()))?;
     if header.trim() != "wsn-topology v1" {
         return Err(ParseError(format!("unknown header {header:?}")));
     }

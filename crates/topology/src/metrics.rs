@@ -97,10 +97,7 @@ mod tests {
 
     /// Path 0-1-2-3-4 (spacing 1, radius 1).
     fn path5() -> Topology {
-        Topology::unit_disk(
-            (0..5).map(|i| Point::new(i as f64, 0.0)).collect(),
-            1.0,
-        )
+        Topology::unit_disk((0..5).map(|i| Point::new(i as f64, 0.0)).collect(), 1.0)
     }
 
     #[test]
@@ -115,10 +112,7 @@ mod tests {
 
     #[test]
     fn disconnected_reports_none() {
-        let t = Topology::unit_disk(
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
-            1.0,
-        );
+        let t = Topology::unit_disk(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)], 1.0);
         assert_eq!(eccentricity(&t, NodeId(0)), None);
         assert_eq!(diameter(&t), None);
         assert_eq!(bfs_hops(&t, NodeId(0))[1], UNREACHABLE);

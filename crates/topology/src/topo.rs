@@ -43,9 +43,9 @@ impl Topology {
         let r2 = radius * radius;
 
         // Grid-bucket candidate generation.
-        let (min_x, min_y) = positions.iter().fold((0.0f64, 0.0f64), |(ax, ay), p| {
-            (ax.min(p.x), ay.min(p.y))
-        });
+        let (min_x, min_y) = positions
+            .iter()
+            .fold((0.0f64, 0.0f64), |(ax, ay), p| (ax.min(p.x), ay.min(p.y)));
         let cell = |p: &Point| -> (i64, i64) {
             (
                 ((p.x - min_x) / radius).floor() as i64,
@@ -263,7 +263,9 @@ mod tests {
         // Deterministic pseudo-random scatter; compare against O(n²).
         let mut state = 0x12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let pts: Vec<Point> = (0..120)
@@ -312,7 +314,11 @@ mod tests {
     #[test]
     fn negative_coordinates_supported() {
         let t = Topology::unit_disk(
-            vec![Point::new(-5.0, -5.0), Point::new(-4.5, -5.0), Point::new(5.0, 5.0)],
+            vec![
+                Point::new(-5.0, -5.0),
+                Point::new(-4.5, -5.0),
+                Point::new(5.0, 5.0),
+            ],
             1.0,
         );
         assert!(t.adjacent(NodeId(0), NodeId(1)));

@@ -27,7 +27,10 @@ fn main() {
         topo.len()
     );
 
-    for (label, rate) in [("heavy duty cycle (10%, r=10)", 10u32), ("light duty cycle (2%, r=50)", 50)] {
+    for (label, rate) in [
+        ("heavy duty cycle (10%, r=10)", 10u32),
+        ("light duty cycle (2%, r=50)", 50),
+    ] {
         let wake = WindowedRandom::new(topo.len(), rate, 0xF1FE);
 
         // Prior art: layered scheduling, waiting out every layer.

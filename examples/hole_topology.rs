@@ -36,7 +36,11 @@ fn main() {
         // Rim nodes: empty quadrant despite not being on the outer edge.
         let pos = topo.position(u);
         let central = (pos.x - 25.0).abs() < 12.0 && (pos.y - 25.0).abs() < 12.0;
-        if central && Quadrant::ALL.iter().any(|&q| !topo.has_neighbor_in_quadrant(u, q)) {
+        if central
+            && Quadrant::ALL
+                .iter()
+                .any(|&q| !topo.has_neighbor_in_quadrant(u, q))
+        {
             hole_rim += 1;
         }
     }

@@ -67,11 +67,17 @@ fn main() {
     let emodel = EModel::build(topo, &AlwaysAwake);
     println!("\nE-model values toward quadrant Q2 (up-left, where the work remains):");
     for label in ["7", "8", "9", "0", "4", "5", "6", "10", "1"] {
-        println!("  E2({label:>2}) = {}", emodel.value(f.id(label), Quadrant::Q2));
+        println!(
+            "  E2({label:>2}) = {}",
+            emodel.value(f.id(label), Quadrant::Q2)
+        );
     }
     let chosen = emodel.select_class(topo, &w1, &classes);
     let members: Vec<_> = classes[chosen].iter().map(|&u| f.label(u)).collect();
-    println!("Eq. (10) selects the color {{{}}} — same as the search.\n", members.join(","));
+    println!(
+        "Eq. (10) selects the color {{{}}} — same as the search.\n",
+        members.join(",")
+    );
 
     // And the baseline pays for its layer barrier.
     let baseline = schedule_26_approx(topo, f.source);

@@ -45,13 +45,28 @@ fn main() {
     let opt = solve_opt(&topo, source, &AlwaysAwake, &SearchConfig::default());
     opt.schedule.verify(&topo, &AlwaysAwake).unwrap();
 
-    println!("\n{:<28} {:>10} {:>15}", "scheduler", "P(A)", "transmissions");
+    println!(
+        "\n{:<28} {:>10} {:>15}",
+        "scheduler", "P(A)", "transmissions"
+    );
     for (name, latency, tx) in [
-        ("26-approx (baseline)", baseline.latency(), baseline.transmission_count()),
-        ("E-model (practical)", practical.latency(), practical.transmission_count()),
+        (
+            "26-approx (baseline)",
+            baseline.latency(),
+            baseline.transmission_count(),
+        ),
+        (
+            "E-model (practical)",
+            practical.latency(),
+            practical.transmission_count(),
+        ),
         ("G-OPT", gopt.latency, gopt.schedule.transmission_count()),
         (
-            if opt.exact { "OPT (exact)" } else { "OPT (beam)" },
+            if opt.exact {
+                "OPT (exact)"
+            } else {
+                "OPT (beam)"
+            },
             opt.latency,
             opt.schedule.transmission_count(),
         ),

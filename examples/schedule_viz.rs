@@ -63,7 +63,11 @@ fn main() {
 
     println!(
         "{} schedule on {} nodes — P(A) = {} rounds, {} transmissions\n",
-        if use_baseline { "26-approx (layer barrier)" } else { "E-model pipeline" },
+        if use_baseline {
+            "26-approx (layer barrier)"
+        } else {
+            "E-model pipeline"
+        },
         topo.len(),
         schedule.latency(),
         schedule.transmission_count()

@@ -46,10 +46,13 @@
 //! | [`interference`] | `wsn-interference` | conflict model, collision resolution |
 //! | [`coloring`] | `wsn-coloring` | greedy scheme, Eq. (1) validity, enumeration |
 //! | [`baselines`] | `wsn-baselines` | 26-/17-approximation, CDS, flooding |
+//! | [`distributed`] | `wsn-distributed` | localized scheduling, distributed E-model (§VII) |
 //! | [`sim`] | `wsn-sim` | experiment sweeps, statistics, CSV |
+//! | [`bench`] | `wsn-bench` | figure/table regeneration harness |
 
 pub use mlbs_core as core;
 pub use wsn_baselines as baselines;
+pub use wsn_bench as bench;
 pub use wsn_bitset as bitset;
 pub use wsn_coloring as coloring;
 pub use wsn_distributed as distributed;
@@ -63,20 +66,18 @@ pub use wsn_topology as topology;
 pub mod prelude {
     pub use mlbs_core::{
         bounds, run_pipeline, solve_gopt, solve_opt, ColorSelector, EModel, EModelSelector,
-        MaxReceiversSelector, PipelineConfig, Schedule, ScheduleEntry, ScheduleError,
-        SearchConfig, SearchOutcome,
+        MaxReceiversSelector, PipelineConfig, Schedule, ScheduleEntry, ScheduleError, SearchConfig,
+        SearchOutcome,
     };
     pub use wsn_baselines::{
-        flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered,
-        schedule_layered, LayeredMode,
+        flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered, schedule_layered,
+        LayeredMode,
     };
     pub use wsn_bitset::NodeSet;
     pub use wsn_coloring::{eligible_senders, greedy_coloring, validate_coloring};
+    pub use wsn_distributed::{distributed_emodel, localized_broadcast, LocalizedOutcome};
     pub use wsn_dutycycle::{AlwaysAwake, ExplicitSchedule, Slot, WakeSchedule, WindowedRandom};
     pub use wsn_geom::{Point, Quadrant, Rect};
-    pub use wsn_distributed::{distributed_emodel, localized_broadcast, LocalizedOutcome};
     pub use wsn_sim::{run_instance, Algorithm, Regime, Summary, Sweep};
-    pub use wsn_topology::{
-        deploy::SyntheticDeployment, fixtures, metrics, NodeId, Topology,
-    };
+    pub use wsn_topology::{deploy::SyntheticDeployment, fixtures, metrics, NodeId, Topology};
 }

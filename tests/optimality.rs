@@ -11,11 +11,7 @@ use std::collections::HashMap;
 
 /// Minimum completion latency by exhaustive subset enumeration (sync).
 fn brute_force_optimum(topo: &Topology, source: NodeId) -> u64 {
-    fn rec(
-        topo: &Topology,
-        informed: &NodeSet,
-        memo: &mut HashMap<Vec<u64>, u64>,
-    ) -> u64 {
+    fn rec(topo: &Topology, informed: &NodeSet, memo: &mut HashMap<Vec<u64>, u64>) -> u64 {
         if informed.is_full() {
             return 0;
         }

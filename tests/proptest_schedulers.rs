@@ -9,9 +9,7 @@ use proptest::prelude::*;
 /// Arbitrary connected paper-style deployments (by seed, so shrinking
 /// shrinks the seed — deployments themselves stay valid by construction).
 fn arb_instance() -> impl Strategy<Value = (Topology, NodeId)> {
-    (40usize..120, 0u64..1_000).prop_map(|(n, seed)| {
-        SyntheticDeployment::paper(n).sample(seed)
-    })
+    (40usize..120, 0u64..1_000).prop_map(|(n, seed)| SyntheticDeployment::paper(n).sample(seed))
 }
 
 proptest! {

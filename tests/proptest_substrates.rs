@@ -6,9 +6,7 @@ use mlbs::prelude::*;
 use proptest::prelude::*;
 
 fn arb_topo() -> impl Strategy<Value = Topology> {
-    (30usize..100, 0u64..500).prop_map(|(n, seed)| {
-        SyntheticDeployment::paper(n).sample(seed).0
-    })
+    (30usize..100, 0u64..500).prop_map(|(n, seed)| SyntheticDeployment::paper(n).sample(seed).0)
 }
 
 /// A random "mid-broadcast" informed set: everything within `h` hops of a
@@ -16,10 +14,7 @@ fn arb_topo() -> impl Strategy<Value = Topology> {
 fn informed_ball(topo: &Topology, center: usize, h: u32) -> NodeSet {
     let c = NodeId((center % topo.len()) as u32);
     let hops = metrics::bfs_hops(topo, c);
-    NodeSet::from_indices(
-        topo.len(),
-        (0..topo.len()).filter(|&u| hops[u] <= h),
-    )
+    NodeSet::from_indices(topo.len(), (0..topo.len()).filter(|&u| hops[u] <= h))
 }
 
 proptest! {

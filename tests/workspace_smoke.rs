@@ -1,0 +1,45 @@
+//! Workspace smoke test: one pass through the facade's public API on a
+//! small fixed-seed topology, asserting the latency sandwich the facade
+//! docs promise — the exact G-OPT search is never beaten by the practical
+//! E-model pipeline, which in turn never loses to the layered
+//! 26-approximation on this instance.
+
+use mlbs::prelude::*;
+
+#[test]
+fn gopt_emodel_baseline_latency_sandwich() {
+    let (topo, source) = SyntheticDeployment::paper(80).sample(11);
+
+    let emodel = EModel::build(&topo, &AlwaysAwake);
+    let practical = run_pipeline(
+        &topo,
+        source,
+        &AlwaysAwake,
+        &mut EModelSelector::new(&emodel),
+        &PipelineConfig::default(),
+    );
+    practical.verify(&topo, &AlwaysAwake).unwrap();
+
+    let gopt = solve_gopt(&topo, source, &AlwaysAwake, &SearchConfig::default());
+    gopt.schedule.verify(&topo, &AlwaysAwake).unwrap();
+
+    let baseline = schedule_26_approx(&topo, source);
+    baseline.verify(&topo, &AlwaysAwake).unwrap();
+
+    assert!(
+        gopt.latency <= practical.latency(),
+        "G-OPT ({}) must be ≤ E-model ({})",
+        gopt.latency,
+        practical.latency()
+    );
+    assert!(
+        practical.latency() <= baseline.latency(),
+        "E-model ({}) must be ≤ 26-approx ({}) on this fixed instance",
+        practical.latency(),
+        baseline.latency()
+    );
+
+    // And the hard lower bound: nothing beats the source eccentricity.
+    let d = bounds::source_eccentricity(&topo, source) as u64;
+    assert!(gopt.latency >= d);
+}

@@ -119,9 +119,13 @@ impl Bencher {
     /// Times `routine`, storing per-iteration durations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // One untimed warm-up iteration, also used to calibrate how many
-        // iterations fit the per-benchmark budget.
+        // iterations fit the per-benchmark budget. In `--test` mode
+        // (sample_size 0) this single execution is the whole run.
         let warmup = Instant::now();
         std::hint::black_box(routine());
+        if self.sample_size == 0 {
+            return;
+        }
         let once = warmup.elapsed().max(Duration::from_nanos(1));
 
         let per_sample = TARGET_TOTAL / self.sample_size as u32;
@@ -136,12 +140,22 @@ impl Bencher {
     }
 }
 
+/// `--test` (matching real criterion): run every benchmark routine once to
+/// prove it executes, skipping the measurement loop — the CI smoke mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: if test_mode() { 0 } else { sample_size },
     };
     f(&mut bencher);
+    if test_mode() {
+        println!("  {name:<50} ok (--test)");
+        return;
+    }
     if bencher.samples.is_empty() {
         println!("  {name:<50} (no samples)");
         return;

@@ -1,8 +1,7 @@
 //! The BFS-layered scheduling engine behind the 26- and 17-approximations.
 
-use mlbs_core::{Schedule, ScheduleEntry};
+use mlbs_core::{BroadcastState, Schedule, ScheduleEntry};
 use wsn_bitset::NodeSet;
-use wsn_coloring::greedy_coloring_of_candidates;
 use wsn_dutycycle::{AlwaysAwake, Slot, WakeSchedule};
 use wsn_topology::{metrics, NodeId, Topology};
 
@@ -45,6 +44,26 @@ pub fn schedule_layered<S: WakeSchedule>(
     start_from: Slot,
     mode: LayeredMode,
 ) -> Schedule {
+    schedule_layered_with(
+        topo,
+        source,
+        wake,
+        start_from,
+        mode,
+        &mut BroadcastState::new(),
+    )
+}
+
+/// As [`schedule_layered`], reusing a caller-provided substrate across
+/// instances (the sweep workers hold one each).
+pub fn schedule_layered_with<S: WakeSchedule>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    start_from: Slot,
+    mode: LayeredMode,
+    sub: &mut BroadcastState,
+) -> Schedule {
     let n = topo.len();
     let hops = metrics::bfs_hops(topo, source);
     assert!(
@@ -52,11 +71,13 @@ pub fn schedule_layered<S: WakeSchedule>(
         "broadcast cannot complete: disconnected topology"
     );
     let depth = hops.iter().copied().max().unwrap_or(0);
+    sub.reset_for(topo);
 
     let t_s = wake.next_send(source.idx(), start_from);
     let mut state = LayerRun {
         topo,
         wake,
+        sub,
         informed: {
             let mut w = NodeSet::new(n);
             w.insert(source.idx());
@@ -91,6 +112,9 @@ pub fn schedule_layered<S: WakeSchedule>(
 struct LayerRun<'a, S: WakeSchedule> {
     topo: &'a Topology,
     wake: &'a S,
+    /// Shared substrate: scratch sets and the incremental conflict graph
+    /// behind the per-layer colorings.
+    sub: &'a mut BroadcastState,
     informed: NodeSet,
     receive_slot: Vec<Slot>,
     entries: Vec<ScheduleEntry>,
@@ -101,6 +125,14 @@ impl<S: WakeSchedule> LayerRun<'_, S> {
     /// `true` while `u` still has an uninformed neighbor.
     fn still_useful(&self, u: NodeId) -> bool {
         self.topo.neighbor_set(u).difference_len(&self.informed) > 0
+    }
+
+    /// Colors an explicit candidate list against the current informed set
+    /// through the substrate.
+    fn classes_of(&mut self, candidates: &[NodeId]) -> Vec<Vec<NodeId>> {
+        self.sub
+            .load_candidates(self.topo, &self.informed, candidates);
+        self.sub.greedy_classes(self.topo)
     }
 
     /// Transmits `senders` (assumed conflict-free) in slot `self.t`.
@@ -132,7 +164,7 @@ impl<S: WakeSchedule> LayerRun<'_, S> {
         if candidates.is_empty() {
             return;
         }
-        let classes = greedy_coloring_of_candidates(self.topo, &self.informed, &candidates);
+        let classes = self.classes_of(&candidates);
         for class in classes {
             let mut pending: Vec<NodeId> = class;
             loop {
@@ -172,7 +204,7 @@ impl<S: WakeSchedule> LayerRun<'_, S> {
         if candidates.is_empty() {
             return;
         }
-        let classes = greedy_coloring_of_candidates(self.topo, &self.informed, &candidates);
+        let classes = self.classes_of(&candidates);
         for class in classes {
             let mut pending: Vec<NodeId> = class;
             while !pending.is_empty() {
@@ -220,7 +252,7 @@ impl<S: WakeSchedule> LayerRun<'_, S> {
                     .expect("candidates non-empty");
                 continue;
             }
-            let classes = greedy_coloring_of_candidates(self.topo, &self.informed, &awake);
+            let classes = self.classes_of(&awake);
             self.fire(classes[0].clone());
         }
     }

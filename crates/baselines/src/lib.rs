@@ -29,4 +29,6 @@ mod layered;
 
 pub use cds::{greedy_connected_dominating_set, schedule_cds_layered};
 pub use flood::{flood_once, FloodOutcome};
-pub use layered::{schedule_17_approx, schedule_26_approx, schedule_layered, LayeredMode};
+pub use layered::{
+    schedule_17_approx, schedule_26_approx, schedule_layered, schedule_layered_with, LayeredMode,
+};

@@ -7,8 +7,8 @@ use std::hint::black_box;
 use wsn_bitset::NodeSet;
 use wsn_coloring::{eligible_senders, greedy_coloring, maximal_conflict_free_sets};
 use wsn_dutycycle::{AlwaysAwake, WakeSchedule, WindowedRandom};
-use wsn_interference::ConflictGraph;
-use wsn_topology::deploy::SyntheticDeployment;
+use wsn_interference::{ConflictGraph, ConflictGraphBuilder};
+use wsn_topology::{deploy::SyntheticDeployment, NodeId, Topology};
 
 fn bench_topology(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology");
@@ -51,6 +51,71 @@ fn bench_coloring(c: &mut Criterion) {
     group.finish();
 }
 
+/// A search-shaped `(candidates, uninformed)` trajectory: the greedy
+/// broadcast's state sequence, expanded with per-state branch probes —
+/// for every state the DFS pattern of visiting several sibling children
+/// (uninformed shrinks by one relay's coverage) and backtracking to the
+/// parent. This is the call sequence `Searcher::branches` hands the
+/// conflict builder.
+fn broadcast_trajectory(topo: &Topology, src: NodeId) -> Vec<(Vec<NodeId>, NodeSet)> {
+    let n = topo.len();
+    let mut informed = NodeSet::new(n);
+    informed.insert(src.idx());
+    let mut steps = Vec::new();
+    loop {
+        let uninformed = informed.complement();
+        let candidates = eligible_senders(topo, &informed);
+        if candidates.is_empty() {
+            break;
+        }
+        steps.push((candidates.clone(), uninformed.clone()));
+        // Branch probes: three sibling children plus the backtrack home.
+        for probe in 0..3usize {
+            let relay = candidates[probe * candidates.len().div_ceil(4) % candidates.len()];
+            let mut child = uninformed.clone();
+            child.difference_with(topo.neighbor_set(relay));
+            steps.push((candidates.clone(), child));
+        }
+        steps.push((candidates.clone(), uninformed.clone()));
+        let classes = wsn_coloring::greedy_coloring_of_candidates(topo, &informed, &candidates);
+        for &u in &classes[0] {
+            informed.union_with(topo.neighbor_set(u));
+        }
+        if informed.is_full() {
+            break;
+        }
+    }
+    steps
+}
+
+/// The ISSUE-2 acceptance bench: replaying a 300-node broadcast
+/// trajectory through the incremental builder vs rebuilding the conflict
+/// graph from scratch at every state.
+fn bench_incremental_conflict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_incremental");
+    for nodes in [100usize, 300] {
+        let (topo, src) = SyntheticDeployment::paper(nodes).sample(7);
+        let steps = broadcast_trajectory(&topo, src);
+        group.bench_with_input(BenchmarkId::new("rebuild", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                for (cands, unf) in &steps {
+                    black_box(ConflictGraph::build(&topo, cands, unf));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut builder = ConflictGraphBuilder::new();
+                builder.reset(topo.len());
+                for (cands, unf) in &steps {
+                    black_box(builder.update(&topo, cands, unf));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_emodel(c: &mut Criterion) {
     let mut group = c.benchmark_group("emodel");
     for nodes in [100usize, 300] {
@@ -88,6 +153,7 @@ criterion_group!(
     benches,
     bench_topology,
     bench_coloring,
+    bench_incremental_conflict,
     bench_emodel,
     bench_dutycycle
 );

@@ -13,11 +13,54 @@
 //!    slots."
 //! 5. Theorem 1 holds on every instance (latency ≤ d+2 / 2r(d+2)).
 
+use mlbs_core::{solve_opt_with, BroadcastState, SearchConfig};
 use wsn_bench::FigureOpts;
+use wsn_dutycycle::AlwaysAwake;
 use wsn_sim::{Regime, SweepResult};
+use wsn_topology::deploy::SyntheticDeployment;
 
 fn check(name: &str, ok: bool, detail: String) {
     println!("[{}] {name}: {detail}", if ok { "PASS" } else { "WARN" });
+}
+
+/// Emits `BENCH_substrate.json`: the incremental-conflict-substrate
+/// baseline (per-instance OPT wall time, row-computation accounting, memo
+/// interning) on the seeded paper deployments — the reference numbers the
+/// `substrates` bench and future perf PRs compare against.
+fn emit_substrate_baseline(path: &str) {
+    let mut substrate = BroadcastState::new();
+    let mut rows = Vec::new();
+    for (n, seed) in [(100usize, 0u64), (100, 1), (300, 0), (300, 1)] {
+        let (topo, src) = SyntheticDeployment::paper(n).sample(seed);
+        let t0 = std::time::Instant::now();
+        let out = solve_opt_with(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &SearchConfig::default(),
+            &mut substrate,
+        );
+        let wall_us = t0.elapsed().as_micros();
+        rows.push(format!(
+            "    {{\"nodes\": {n}, \"seed\": {seed}, \"latency\": {}, \"exact\": {}, \
+             \"states\": {}, \"interned_sets\": {}, \"conflict_rows_built\": {}, \
+             \"conflict_rows_reused\": {}, \"wall_us\": {wall_us}}}",
+            out.latency,
+            out.exact,
+            out.stats.states,
+            out.stats.interned_sets,
+            out.stats.conflict_rows_built,
+            out.stats.conflict_rows_reused
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"substrate\",\n  \"rule\": \"MaximalSets\",\n  \"instances\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[claims] wrote {path}"),
+        Err(e) => eprintln!("[claims] could not write {path}: {e}"),
+    }
 }
 
 fn max_gap(result: &SweepResult, a: &str, b: &str) -> f64 {
@@ -43,6 +86,7 @@ fn bound_ok(result: &SweepResult) -> bool {
 
 fn main() {
     let opts = FigureOpts::from_args();
+    emit_substrate_baseline("BENCH_substrate.json");
 
     println!("=== synchronous system ===");
     let mut sweep = opts.sweep(Regime::Sync);

@@ -1,0 +1,240 @@
+//! Interning of informed sets into dense, collision-free state ids.
+//!
+//! The OPT / G-OPT searches memoize on the informed set `W`. A 64-bit
+//! [`NodeSet::fingerprint`] makes a compact key but can silently collide,
+//! corrupting exact memo entries with values that belong to a different
+//! state. [`SetInterner`] removes the hazard: every distinct set is stored
+//! once in a flat word arena and canonicalized to a dense [`StateId`], so
+//! equal ids imply equal sets *by construction*. The fingerprint is demoted
+//! to what it is good at — a bucket hash — and full word comparison settles
+//! ties, so even adversarial collisions cannot merge two states.
+//!
+//! Dense ids double as a storage win: memo keys shrink from `(u64, u64)`
+//! fingerprint pairs to `(u32, phase)`, and the arena stores each set's
+//! words exactly once with no per-entry `Vec` header.
+
+use crate::NodeSet;
+use std::collections::HashMap;
+
+/// Dense identifier of an interned set. Ids are handed out consecutively
+/// from 0, so they also index side tables naturally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An arena that canonicalizes [`NodeSet`]s over one fixed universe to
+/// dense [`StateId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_bitset::{NodeSet, SetInterner};
+///
+/// let mut interner = SetInterner::new(100);
+/// let a = NodeSet::from_indices(100, [1, 2, 3]);
+/// let b = NodeSet::from_indices(100, [1, 2, 4]);
+/// let ia = interner.intern(&a);
+/// assert_eq!(interner.intern(&a), ia, "idempotent");
+/// assert_ne!(interner.intern(&b), ia, "distinct sets, distinct ids");
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetInterner {
+    universe: usize,
+    /// Words per interned set (`⌈universe / 64⌉`).
+    stride: usize,
+    /// Flat storage: set `i` occupies `arena[i*stride .. (i+1)*stride]`.
+    arena: Vec<u64>,
+    /// Fingerprint → candidate ids. Collisions land in one bucket and are
+    /// separated by full word comparison against the arena.
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl SetInterner {
+    /// Creates an empty interner for sets over `universe` elements.
+    pub fn new(universe: usize) -> Self {
+        SetInterner {
+            universe,
+            stride: universe.div_ceil(64),
+            arena: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The universe every interned set must share.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of distinct sets interned so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        // Zero-universe sets carry no words; count via the buckets.
+        self.arena
+            .len()
+            .checked_div(self.stride)
+            .unwrap_or_else(|| self.buckets.values().map(Vec::len).sum())
+    }
+
+    /// `true` when nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The word storage of an interned set.
+    #[inline]
+    pub fn words(&self, id: StateId) -> &[u64] {
+        &self.arena[id.idx() * self.stride..(id.idx() + 1) * self.stride]
+    }
+
+    /// Canonicalizes `set`, returning its dense id. Two calls return the
+    /// same id **iff** the sets are equal word-for-word — fingerprint
+    /// collisions are resolved, never merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is over a different universe.
+    pub fn intern(&mut self, set: &NodeSet) -> StateId {
+        assert_eq!(
+            set.universe(),
+            self.universe,
+            "interned set universe mismatch"
+        );
+        let words = set.words();
+        let bucket = self.buckets.entry(set.fingerprint()).or_default();
+        for &id in bucket.iter() {
+            let at = id as usize * self.stride;
+            if &self.arena[at..at + self.stride] == words {
+                return StateId(id);
+            }
+        }
+        // For a zero-stride (empty-universe) interner every set is the
+        // empty set, and the bucket loop above only misses it on the very
+        // first intern — id 0 either way.
+        let id = match self.arena.len().checked_div(self.stride) {
+            Some(next) => u32::try_from(next).expect("more than u32::MAX states"),
+            None => 0u32,
+        };
+        self.arena.extend_from_slice(words);
+        bucket.push(id);
+        StateId(id)
+    }
+
+    /// Drops every interned set, keeping the allocations for reuse (and
+    /// optionally re-sizing to a new universe).
+    pub fn reset(&mut self, universe: usize) {
+        self.universe = universe;
+        self.stride = universe.div_ceil(64);
+        self.arena.clear();
+        self.buckets.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut it = SetInterner::new(130);
+        let ids: Vec<StateId> = (0..10)
+            .map(|i| it.intern(&NodeSet::from_indices(130, [i, i + 64])))
+            .collect();
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(id.idx(), k, "ids are dense in first-seen order");
+        }
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(
+                it.intern(&NodeSet::from_indices(130, [k, k + 64])),
+                *id,
+                "re-interning returns the original id"
+            );
+        }
+        assert_eq!(it.len(), 10);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let mut it = SetInterner::new(200);
+        let s = NodeSet::from_indices(200, [0, 63, 64, 199]);
+        let id = it.intern(&s);
+        assert_eq!(it.words(id), s.words());
+    }
+
+    /// Two distinct sets engineered to share a fingerprint. The FNV-style
+    /// fold is `h = (h ^ w) * p` per word followed by a bijective
+    /// finalizer, so for two-word sets `(w0, w1)` and `(w0', w1')` the
+    /// fingerprints agree iff `(s ^ w0)·p ^ w1 == (s ^ w0')·p ^ w1'`;
+    /// solving for `w1'` forges a collision. (If the fingerprint algorithm
+    /// ever changes, re-derive the construction here.)
+    fn forged_collision() -> (NodeSet, NodeSet) {
+        const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let (w0a, w1a) = (0b1u64, 0b1u64);
+        let w0b = 0b11u64;
+        let ca = (SEED ^ w0a).wrapping_mul(PRIME);
+        let cb = (SEED ^ w0b).wrapping_mul(PRIME);
+        let w1b = w1a ^ ca ^ cb;
+        let from_words = |w0: u64, w1: u64| {
+            NodeSet::from_indices(
+                128,
+                (0..64)
+                    .filter(move |b| w0 >> b & 1 == 1)
+                    .chain((0..64).filter(move |b| w1 >> b & 1 == 1).map(|b| b + 64)),
+            )
+        };
+        (from_words(w0a, w1a), from_words(w0b, w1b))
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_gets_distinct_ids() {
+        // Regression for the memo-correctness hazard: under fingerprint
+        // keys these two informed sets would share a memo entry; interned
+        // ids must keep them apart so `(StateId, phase)` memo keys cannot
+        // collide.
+        let (a, b) = forged_collision();
+        assert_ne!(a, b, "the forgery produced distinct sets");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "the forgery produced a genuine fingerprint collision"
+        );
+        let mut it = SetInterner::new(128);
+        let ia = it.intern(&a);
+        let ib = it.intern(&b);
+        assert_ne!(ia, ib, "colliding fingerprints must not merge states");
+        assert_eq!(it.intern(&a), ia);
+        assert_eq!(it.intern(&b), ib);
+        assert_eq!(it.words(ia), a.words());
+        assert_eq!(it.words(ib), b.words());
+    }
+
+    #[test]
+    fn reset_keeps_working_across_universes() {
+        let mut it = SetInterner::new(64);
+        it.intern(&NodeSet::from_indices(64, [3]));
+        it.reset(128);
+        assert!(it.is_empty());
+        let id = it.intern(&NodeSet::from_indices(128, [100]));
+        assert_eq!(id.idx(), 0);
+        assert_eq!(it.universe(), 128);
+    }
+
+    #[test]
+    fn zero_universe_interner() {
+        let mut it = SetInterner::new(0);
+        let e = NodeSet::new(0);
+        let id = it.intern(&e);
+        assert_eq!(it.intern(&e), id);
+        assert_eq!(it.len(), 1);
+    }
+}

@@ -17,9 +17,11 @@
 //! operation must share it (checked with debug assertions, as the guide's
 //! HPC idiom recommends keeping release-path branches minimal).
 
+mod intern;
 mod iter;
 mod ops;
 
+pub use intern::{SetInterner, StateId};
 pub use iter::OnesIter;
 
 /// Number of bits per storage word.
@@ -179,6 +181,24 @@ impl NodeSet {
         }
     }
 
+    /// Re-sizes this set to a (possibly different) universe and empties it,
+    /// reusing the word allocation. The scratch-arena primitive behind the
+    /// reusable buffers of the broadcast-state substrate.
+    pub fn reset(&mut self, universe: usize) {
+        let n_words = universe.div_ceil(WORD_BITS);
+        self.words.clear();
+        self.words.resize(n_words, 0);
+        self.universe = universe;
+    }
+
+    /// Overwrites this set with the contents of `other` without
+    /// reallocating (both must share a universe).
+    #[inline]
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Iterates member indices in increasing order.
     #[inline]
     pub fn iter(&self) -> OnesIter<'_> {
@@ -212,6 +232,14 @@ impl NodeSet {
         h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         h ^ (h >> 31)
+    }
+}
+
+impl Default for NodeSet {
+    /// The empty set over the empty universe; re-size with
+    /// [`NodeSet::reset`] before use.
+    fn default() -> Self {
+        NodeSet::new(0)
     }
 }
 

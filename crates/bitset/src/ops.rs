@@ -56,6 +56,15 @@ impl NodeSet {
         out
     }
 
+    /// In-place complement within the universe (`self = N ∖ self`).
+    #[inline]
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim_last_word();
+    }
+
     /// Returns the complement within the universe (`W̄ = N ∖ W`).
     pub fn complement(&self) -> NodeSet {
         let mut out = NodeSet {

@@ -14,6 +14,7 @@
 
 use wsn_bitset::NodeSet;
 use wsn_interference::ConflictGraph;
+use wsn_topology::NodeId;
 
 /// Result of an enumeration: the sets (as candidate-index lists, each
 /// sorted ascending) and whether the cap cut the enumeration short.
@@ -55,6 +56,32 @@ pub fn maximal_conflict_free_sets(cg: &ConflictGraph, cap: usize) -> Enumeration
     let mut p = NodeSet::full(k);
     let mut x = NodeSet::new(k);
     bron_kerbosch(&compat, &mut r, &mut p, &mut x, cap, &mut out);
+    out
+}
+
+/// Greedily extends a conflict-free sender set to an inclusion-maximal one
+/// (candidate order = conflict-graph order, which is deterministic).
+///
+/// Membership is tracked as a candidate-index bitset, so each admission
+/// test is one word-parallel `row ∩ members` intersection and base lookup
+/// goes through the graph's candidate→index map — no linear `contains` /
+/// `position` scans.
+///
+/// # Panics
+///
+/// Panics if a member of `base` is not a candidate of `cg`.
+pub fn extend_to_maximal(cg: &ConflictGraph, base: &[NodeId]) -> Vec<NodeId> {
+    let mut members = NodeSet::new(cg.len());
+    for &u in base {
+        members.insert(cg.index_of(u).expect("base member is a candidate"));
+    }
+    for i in 0..cg.len() {
+        if !members.contains(i) && !cg.conflicts_with_set(i, &members) {
+            members.insert(i);
+        }
+    }
+    let mut out: Vec<NodeId> = members.iter().map(|i| cg.node(i)).collect();
+    out.sort_unstable();
     out
 }
 

@@ -5,15 +5,66 @@ use wsn_bitset::NodeSet;
 use wsn_interference::ConflictGraph;
 use wsn_topology::{NodeId, Topology};
 
-/// Runs Algorithm 1 on an explicit candidate list.
+/// Runs Algorithm 1 steps 3–5 over a prebuilt conflict graph.
 ///
-/// Steps 3–5: sort candidates by receiver count descending (ties broken by
-/// node id ascending, which reproduces the color labels of Tables II–IV),
-/// then repeatedly sweep the unlabeled candidates, adding each to the
-/// current color unless it conflicts with a member already in it.
+/// Sort candidates by receiver count descending (ties broken by node id
+/// ascending, which reproduces the color labels of Tables II–IV), then
+/// repeatedly sweep the unlabeled candidates in that order, adding each to
+/// the current color unless it conflicts with a member already in it.
+///
+/// The conflict relation is symmetric and order-independent, so the graph
+/// may index its candidates in any order — this is what lets the searches
+/// share one incrementally-maintained graph between the coloring and the
+/// maximal-set enumeration instead of building both per state.
 ///
 /// Returns the color classes `C_1 … C_λ` in label order; every class is
 /// non-empty and classes partition the candidate list.
+pub fn greedy_classes_on_graph(
+    topo: &Topology,
+    uninformed: &NodeSet,
+    cg: &ConflictGraph,
+) -> Vec<Vec<NodeId>> {
+    let k = cg.len();
+    if k == 0 {
+        return Vec::new();
+    }
+
+    // Eq. (2) order: most receivers first; id ascending on ties.
+    let recv: Vec<usize> = (0..k)
+        .map(|i| receiver_count(topo, cg.node(i), uninformed))
+        .collect();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| recv[b].cmp(&recv[a]).then(cg.node(a).cmp(&cg.node(b))));
+
+    let mut color = vec![usize::MAX; k];
+    let mut next_color = 0usize;
+    let mut remaining = k;
+    // Members of the color being built, as a candidate-index bitset so the
+    // conflict test is one word-parallel intersection.
+    let mut members = NodeSet::new(k);
+    while remaining > 0 {
+        members.clear();
+        for &i in &order {
+            if color[i] == usize::MAX && !cg.conflicts_with_set(i, &members) {
+                color[i] = next_color;
+                members.insert(i);
+                remaining -= 1;
+            }
+        }
+        next_color += 1;
+    }
+
+    let mut classes = vec![Vec::new(); next_color];
+    for &i in &order {
+        classes[color[i]].push(cg.node(i));
+    }
+    classes
+}
+
+/// Runs Algorithm 1 on an explicit candidate list, building a one-shot
+/// conflict graph. Hot per-state loops should prefer
+/// [`crate::BroadcastState::greedy_classes`], which maintains the graph
+/// incrementally.
 pub fn greedy_coloring_of_candidates(
     topo: &Topology,
     informed: &NodeSet,
@@ -23,40 +74,8 @@ pub fn greedy_coloring_of_candidates(
         return Vec::new();
     }
     let uninformed = informed.complement();
-
-    // Eq. (2) order: most receivers first; id ascending on ties. Sorting a
-    // copy keeps the caller's order intact.
-    let mut keyed: Vec<(usize, NodeId)> = candidates
-        .iter()
-        .map(|&u| (receiver_count(topo, u, &uninformed), u))
-        .collect();
-    keyed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    let order: Vec<NodeId> = keyed.into_iter().map(|(_, u)| u).collect();
-
-    let cg = ConflictGraph::build(topo, &order, &uninformed);
-    let k = order.len();
-    let mut color = vec![usize::MAX; k];
-    let mut next_color = 0usize;
-    let mut remaining = k;
-    while remaining > 0 {
-        // Members of the color being built, as a candidate-index bitset so
-        // the conflict test is one word-parallel intersection.
-        let mut members = NodeSet::new(k);
-        for (i, c) in color.iter_mut().enumerate() {
-            if *c == usize::MAX && !cg.conflicts_with_set(i, &members) {
-                *c = next_color;
-                members.insert(i);
-                remaining -= 1;
-            }
-        }
-        next_color += 1;
-    }
-
-    let mut classes = vec![Vec::new(); next_color];
-    for (i, &c) in color.iter().enumerate() {
-        classes[c].push(order[i]);
-    }
-    classes
+    let cg = ConflictGraph::build(topo, candidates, &uninformed);
+    greedy_classes_on_graph(topo, &uninformed, &cg)
 }
 
 /// Runs Algorithm 1 on the round-based candidate rule: all informed nodes

@@ -16,14 +16,20 @@
 //!   and the schedule verifier;
 //! * [`maximal_conflict_free_sets`] — every inclusion-maximal conflict-free
 //!   sender set (Bron–Kerbosch over the conflict-graph complement), the
-//!   branch set of the OPT search ("any possible color", Eq. 5/6).
+//!   branch set of the OPT search ("any possible color", Eq. 5/6);
+//! * [`BroadcastState`] — the reusable broadcast-state substrate every
+//!   scheduler threads through: informed/uninformed scratch sets, the
+//!   candidate list, and a delta-maintained conflict graph shared between
+//!   the greedy coloring and the enumeration.
 
 mod enumerate;
 mod greedy;
+mod substrate;
 mod validity;
 
-pub use enumerate::{maximal_conflict_free_sets, EnumerationOutcome};
-pub use greedy::{greedy_coloring, greedy_coloring_of_candidates};
+pub use enumerate::{extend_to_maximal, maximal_conflict_free_sets, EnumerationOutcome};
+pub use greedy::{greedy_classes_on_graph, greedy_coloring, greedy_coloring_of_candidates};
+pub use substrate::BroadcastState;
 pub use validity::{validate_coloring, ColoringViolation};
 
 use wsn_bitset::NodeSet;

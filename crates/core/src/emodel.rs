@@ -23,6 +23,7 @@ use crate::pipeline::ColorSelector;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use wsn_bitset::NodeSet;
+use wsn_coloring::BroadcastState;
 use wsn_dutycycle::{Slot, WakeSchedule};
 use wsn_geom::Quadrant;
 use wsn_topology::{boundary, NodeId, Topology};
@@ -233,14 +234,24 @@ impl EModel {
         informed: &NodeSet,
         classes: &[Vec<NodeId>],
     ) -> usize {
+        self.select_class_against(topo, &informed.complement(), classes)
+    }
+
+    /// As [`EModel::select_class`], scoring directly against a prepared
+    /// `W̄` — the allocation-free path the pipeline substrate uses.
+    pub fn select_class_against(
+        &self,
+        topo: &Topology,
+        uninformed: &NodeSet,
+        classes: &[Vec<NodeId>],
+    ) -> usize {
         assert!(!classes.is_empty(), "no classes to select from");
-        let uninformed = informed.complement();
         let mut best_idx = 0;
         let mut best_score = f64::NEG_INFINITY;
         for (i, class) in classes.iter().enumerate() {
             let s = class
                 .iter()
-                .map(|&u| self.score(topo, u, &uninformed))
+                .map(|&u| self.score(topo, u, uninformed))
                 .fold(f64::NEG_INFINITY, f64::max);
             if s > best_score {
                 best_score = s;
@@ -268,11 +279,12 @@ impl ColorSelector for EModelSelector<'_> {
     fn select(
         &mut self,
         topo: &Topology,
-        informed: &NodeSet,
+        state: &BroadcastState,
         classes: &[Vec<NodeId>],
         _slot: Slot,
     ) -> usize {
-        self.emodel.select_class(topo, informed, classes)
+        self.emodel
+            .select_class_against(topo, state.uninformed(), classes)
     }
 }
 
@@ -338,7 +350,7 @@ impl ColorSelector for ScalarESelector<'_> {
     fn select(
         &mut self,
         _topo: &Topology,
-        _informed: &NodeSet,
+        _state: &BroadcastState,
         classes: &[Vec<NodeId>],
         _slot: Slot,
     ) -> usize {
@@ -501,23 +513,28 @@ mod tests {
 
     #[test]
     fn pass2_seeds_appear_with_holes() {
-        let mut d = deploy::SyntheticDeployment::paper(250);
-        d.hole = Some((wsn_geom::Point::new(25.0, 25.0), 9.0));
-        // Seed chosen so the sampled rim actually carries local minima;
-        // whether a given seed does depends on the rand shim's stream.
-        let (topo, _) = d.sample(5);
-        let (em, stats) = EModel::build_with_stats(&topo, &AlwaysAwake);
-        // The hole rim produces local minima in at least one quadrant…
-        assert!(
-            stats.pass2_seeds.iter().sum::<usize>() > 0,
-            "expected hole-boundary pass-2 seeds"
-        );
-        // …and pass 2 still leaves every estimate finite.
-        for u in topo.nodes() {
-            for q in Quadrant::ALL {
-                assert!(em.value(u, q).is_finite());
+        // Whether a particular sampled rim carries local minima depends on
+        // the RNG stream, so aggregate over a seed set instead of pinning
+        // one seed: across several hole deployments at this size, at least
+        // one rim must produce pass-2 seeds, and *every* deployment must
+        // end with finite estimates regardless.
+        let mut seeds_seen = 0usize;
+        for seed in 0..8u64 {
+            let mut d = deploy::SyntheticDeployment::paper(250);
+            d.hole = Some((wsn_geom::Point::new(25.0, 25.0), 9.0));
+            let (topo, _) = d.sample(seed);
+            let (em, stats) = EModel::build_with_stats(&topo, &AlwaysAwake);
+            seeds_seen += stats.pass2_seeds.iter().sum::<usize>();
+            for u in topo.nodes() {
+                for q in Quadrant::ALL {
+                    assert!(em.value(u, q).is_finite(), "seed {seed}: E infinite");
+                }
             }
         }
+        assert!(
+            seeds_seen > 0,
+            "no hole deployment produced hole-boundary pass-2 seeds"
+        );
     }
 
     #[test]

@@ -62,7 +62,17 @@ mod search;
 mod trace;
 
 pub use emodel::{EModel, EModelSelector, EModelStats, ScalarESelector, ScalarEdgeDistance};
-pub use pipeline::{run_pipeline, ColorSelector, MaxReceiversSelector, PipelineConfig};
+pub use pipeline::{
+    run_pipeline, run_pipeline_with, ColorSelector, MaxReceiversSelector, PipelineConfig,
+};
 pub use schedule::{Schedule, ScheduleEntry, ScheduleError};
-pub use search::{solve_gopt, solve_opt, SearchConfig, SearchOutcome, SearchStats};
+pub use search::{
+    solve_gopt, solve_gopt_with, solve_opt, solve_opt_with, SearchConfig, SearchOutcome,
+    SearchStats,
+};
 pub use trace::{SearchTrace, TraceState};
+
+// The broadcast-state substrate every scheduler threads through; re-exported
+// so consumers of the schedulers can hold one without a direct
+// `wsn-coloring` dependency.
+pub use wsn_coloring::BroadcastState;

@@ -10,18 +10,19 @@
 
 use crate::schedule::{Schedule, ScheduleEntry};
 use wsn_bitset::NodeSet;
-use wsn_coloring::{eligible_awake_senders, eligible_senders, greedy_coloring_of_candidates};
+use wsn_coloring::BroadcastState;
 use wsn_dutycycle::{Slot, WakeSchedule};
 use wsn_topology::{NodeId, Topology};
 
 /// Chooses which greedy color class to launch at each advance.
 pub trait ColorSelector {
     /// Returns the index of the class to launch. `classes` is non-empty
-    /// and each class is non-empty; `informed` is the current `W`.
+    /// and each class is non-empty; `state` is loaded with the current `W`
+    /// (so `state.uninformed()` is `W̄` with no per-slot allocation).
     fn select(
         &mut self,
         topo: &Topology,
-        informed: &NodeSet,
+        state: &BroadcastState,
         classes: &[Vec<NodeId>],
         slot: Slot,
     ) -> usize;
@@ -37,7 +38,7 @@ impl ColorSelector for MaxReceiversSelector {
     fn select(
         &mut self,
         _topo: &Topology,
-        _informed: &NodeSet,
+        _state: &BroadcastState,
         _classes: &[Vec<NodeId>],
         _slot: Slot,
     ) -> usize {
@@ -79,9 +80,32 @@ pub fn run_pipeline<S: WakeSchedule, C: ColorSelector>(
     selector: &mut C,
     config: &PipelineConfig,
 ) -> Schedule {
+    run_pipeline_with(
+        topo,
+        source,
+        wake,
+        selector,
+        config,
+        &mut BroadcastState::new(),
+    )
+}
+
+/// As [`run_pipeline`], with a caller-provided [`BroadcastState`] so hot
+/// loops (sweeps, searches) reuse one substrate — scratch sets, candidate
+/// buffers and the incremental conflict graph — across runs instead of
+/// allocating per instance.
+pub fn run_pipeline_with<S: WakeSchedule, C: ColorSelector>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    selector: &mut C,
+    config: &PipelineConfig,
+    state: &mut BroadcastState,
+) -> Schedule {
     assert!(source.idx() < topo.len(), "source out of range");
     let n = topo.len();
     let t_s = wake.next_send(source.idx(), config.start_from);
+    state.reset_for(topo);
 
     let mut informed = NodeSet::new(n);
     informed.insert(source.idx());
@@ -90,10 +114,11 @@ pub fn run_pipeline<S: WakeSchedule, C: ColorSelector>(
     let mut t = t_s;
 
     while !informed.is_full() {
-        let candidates = eligible_awake_senders(topo, &informed, wake, t);
-        if candidates.is_empty() {
+        state.load_awake(topo, &informed, wake, t);
+        if state.candidates().is_empty() {
             // Jump to the earliest slot at which any eligible sender wakes.
-            let eligible = eligible_senders(topo, &informed);
+            state.load(topo, &informed);
+            let eligible = state.candidates();
             assert!(
                 !eligible.is_empty(),
                 "broadcast cannot complete: no eligible sender for uninformed nodes \
@@ -107,8 +132,8 @@ pub fn run_pipeline<S: WakeSchedule, C: ColorSelector>(
             continue;
         }
 
-        let classes = greedy_coloring_of_candidates(topo, &informed, &candidates);
-        let choice = selector.select(topo, &informed, &classes, t);
+        let classes = state.greedy_classes(topo);
+        let choice = selector.select(topo, state, &classes, t);
         assert!(choice < classes.len(), "selector returned invalid class");
         let senders = classes[choice].clone();
 

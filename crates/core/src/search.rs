@@ -26,17 +26,13 @@
 //! instances.
 
 use crate::bounds::remaining_hops_lower_bound;
-use crate::pipeline::{run_pipeline, MaxReceiversSelector, PipelineConfig};
+use crate::pipeline::{run_pipeline_with, MaxReceiversSelector, PipelineConfig};
 use crate::schedule::{Schedule, ScheduleEntry};
 use crate::trace::{SearchTrace, TraceOption, TraceState};
 use std::collections::HashMap;
-use wsn_bitset::NodeSet;
-use wsn_coloring::{
-    eligible_awake_senders, eligible_senders, greedy_coloring_of_candidates,
-    maximal_conflict_free_sets,
-};
+use wsn_bitset::{NodeSet, SetInterner, StateId};
+use wsn_coloring::{extend_to_maximal, maximal_conflict_free_sets, BroadcastState};
 use wsn_dutycycle::{Slot, WakeSchedule};
-use wsn_interference::ConflictGraph;
 use wsn_topology::{NodeId, Topology};
 
 /// Search parameters.
@@ -85,6 +81,15 @@ pub struct SearchStats {
     pub truncated_enumerations: usize,
     /// `true` when `max_states` stopped the search somewhere.
     pub state_cap_hit: bool,
+    /// Distinct informed sets canonicalized by the memo-key interner.
+    pub interned_sets: usize,
+    /// Conflict-graph rows computed from scratch during the search.
+    pub conflict_rows_built: usize,
+    /// Conflict-graph rows carried across states by the incremental
+    /// builder. `built + reused` is what a rebuild-per-state strategy
+    /// would have computed, so `reused ≥ built` means the substrate cut
+    /// row computations at least in half.
+    pub conflict_rows_reused: usize,
 }
 
 /// Result of a search.
@@ -119,7 +124,19 @@ pub fn solve_gopt<S: WakeSchedule>(
     wake: &S,
     config: &SearchConfig,
 ) -> SearchOutcome {
-    Searcher::new(topo, wake, config, BranchRule::GreedyClasses).run(source)
+    solve_gopt_with(topo, source, wake, config, &mut BroadcastState::new())
+}
+
+/// As [`solve_gopt`], reusing a caller-provided substrate (one per sweep
+/// worker instead of one per instance).
+pub fn solve_gopt_with<S: WakeSchedule>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    config: &SearchConfig,
+    state: &mut BroadcastState,
+) -> SearchOutcome {
+    Searcher::new(topo, wake, config, BranchRule::GreedyClasses, state).run(source)
 }
 
 /// OPT: minimum-latency schedule over every admissible color (Eq. 5/6).
@@ -133,13 +150,24 @@ pub fn solve_opt<S: WakeSchedule>(
     wake: &S,
     config: &SearchConfig,
 ) -> SearchOutcome {
-    Searcher::new(topo, wake, config, BranchRule::MaximalSets).run(source)
+    solve_opt_with(topo, source, wake, config, &mut BroadcastState::new())
+}
+
+/// As [`solve_opt`], reusing a caller-provided substrate.
+pub fn solve_opt_with<S: WakeSchedule>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    config: &SearchConfig,
+    state: &mut BroadcastState,
+) -> SearchOutcome {
+    Searcher::new(topo, wake, config, BranchRule::MaximalSets, state).run(source)
 }
 
 /// Memo entry: either the exact remaining delay (with the chosen sender
 /// set), or a proven lower bound on it.
 enum MemoEntry {
-    Exact { rem: Slot, choice: Vec<NodeId> },
+    Exact { rem: Slot, choice: Box<[NodeId]> },
     LowerBound(Slot),
 }
 
@@ -152,19 +180,34 @@ struct Searcher<'a, S: WakeSchedule> {
     wake: &'a S,
     config: &'a SearchConfig,
     rule: BranchRule,
-    memo: HashMap<(u64, Slot), MemoEntry>,
+    /// Memo keyed by `(interned W, t mod period)` — collision-free by
+    /// construction, unlike the fingerprint keys this replaced.
+    memo: HashMap<(StateId, Slot), MemoEntry>,
+    /// Canonicalizes informed sets to the dense ids the memo keys on.
+    interner: SetInterner,
+    /// Shared substrate: scratch sets, candidate buffers, and the
+    /// incrementally-maintained conflict graph.
+    state: &'a mut BroadcastState,
     stats: SearchStats,
     trace: SearchTrace,
 }
 
 impl<'a, S: WakeSchedule> Searcher<'a, S> {
-    fn new(topo: &'a Topology, wake: &'a S, config: &'a SearchConfig, rule: BranchRule) -> Self {
+    fn new(
+        topo: &'a Topology,
+        wake: &'a S,
+        config: &'a SearchConfig,
+        rule: BranchRule,
+        state: &'a mut BroadcastState,
+    ) -> Self {
         Searcher {
             topo,
             wake,
             config,
             rule,
             memo: HashMap::new(),
+            interner: SetInterner::new(topo.len()),
+            state,
             stats: SearchStats::default(),
             trace: SearchTrace::default(),
         }
@@ -195,8 +238,10 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         }
 
         // Seed the budget with an achievable pipeline schedule; it doubles
-        // as the fallback when the state cap aborts the search.
-        let seed = run_pipeline(
+        // as the fallback when the state cap aborts the search. The
+        // pipeline re-targets the shared substrate to this topology, so
+        // the search below continues from warm caches.
+        let seed = run_pipeline_with(
             self.topo,
             source,
             self.wake,
@@ -204,12 +249,14 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             &PipelineConfig {
                 start_from: self.config.start_from,
             },
+            self.state,
         );
         let budget = if self.config.exhaustive {
             INF_BUDGET
         } else {
             seed.latency()
         };
+        let conflict_base = *self.state.conflict_stats();
 
         let (schedule, fell_back) = match self.dfs(&w0, t_s, budget) {
             Some(rem) => {
@@ -226,6 +273,10 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         let exact = !fell_back
             && !self.stats.state_cap_hit
             && (self.rule == BranchRule::GreedyClasses || self.stats.truncated_enumerations == 0);
+        let conflict = self.state.conflict_stats().since(&conflict_base);
+        self.stats.conflict_rows_built = conflict.rows_built;
+        self.stats.conflict_rows_reused = conflict.rows_reused;
+        self.stats.interned_sets = self.interner.len();
         SearchOutcome {
             latency: schedule.latency(),
             schedule,
@@ -236,15 +287,16 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
     }
 
     /// The branch colors of a state, most promising first. Each branch is a
-    /// conflict-free sender set among the awake candidates.
-    fn branches(&mut self, informed: &NodeSet, candidates: &[NodeId]) -> Vec<Vec<NodeId>> {
-        let classes = greedy_coloring_of_candidates(self.topo, informed, candidates);
+    /// conflict-free sender set among the awake candidates. The substrate
+    /// must be loaded with `(informed, t)` by the caller; one incremental
+    /// conflict-graph update serves both the greedy coloring and the
+    /// maximal-set enumeration.
+    fn branches(&mut self, informed: &NodeSet) -> Vec<Vec<NodeId>> {
         match self.rule {
-            BranchRule::GreedyClasses => classes,
+            BranchRule::GreedyClasses => self.state.greedy_classes(self.topo),
             BranchRule::MaximalSets => {
-                let uninformed = informed.complement();
-                let cg = ConflictGraph::build(self.topo, candidates, &uninformed);
-                let outcome = maximal_conflict_free_sets(&cg, self.config.branch_cap);
+                let (classes, cg) = self.state.classes_and_graph(self.topo);
+                let outcome = maximal_conflict_free_sets(cg, self.config.branch_cap);
                 if outcome.truncated {
                     self.stats.truncated_enumerations += 1;
                 }
@@ -260,8 +312,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                 // Guarantee OPT ⊆-dominates G-OPT: extend each greedy class
                 // to a maximal set and include it.
                 for class in &classes {
-                    let ext = self.extend_to_maximal(&cg, class);
-                    sets.push(ext);
+                    sets.push(extend_to_maximal(cg, class));
                 }
                 sets.sort();
                 sets.dedup();
@@ -278,38 +329,13 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         }
     }
 
-    /// Greedily extends a conflict-free set to a maximal one (candidate
-    /// order = conflict-graph order, which is deterministic).
-    fn extend_to_maximal(&self, cg: &ConflictGraph, base: &[NodeId]) -> Vec<NodeId> {
-        let mut members: Vec<usize> = base
-            .iter()
-            .map(|u| {
-                cg.candidates()
-                    .iter()
-                    .position(|c| c == u)
-                    .expect("class member is a candidate")
-            })
-            .collect();
-        for i in 0..cg.len() {
-            if members.contains(&i) {
-                continue;
-            }
-            if members.iter().all(|&m| !cg.conflict(i, m)) {
-                members.push(i);
-            }
-        }
-        let mut out: Vec<NodeId> = members.into_iter().map(|i| cg.node(i)).collect();
-        out.sort_unstable();
-        out
-    }
-
     /// Returns the minimum remaining delay (slots from `t` through the last
     /// transmission, inclusive) if it is ≤ `budget`, else `None`. Exact
     /// values and the corresponding first advance are memoized.
     fn dfs(&mut self, informed: &NodeSet, t: Slot, budget: Slot) -> Option<Slot> {
         debug_assert!(!informed.is_full());
         let phase = t % self.wake.period();
-        let key = (informed.fingerprint(), phase);
+        let key = (self.interner.intern(informed), phase);
 
         match self.memo.get(&key) {
             Some(MemoEntry::Exact { rem, .. }) => {
@@ -338,11 +364,12 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             return None;
         }
 
-        let candidates = eligible_awake_senders(self.topo, informed, self.wake, t);
-        if candidates.is_empty() {
+        self.state.load_awake(self.topo, informed, self.wake, t);
+        if self.state.candidates().is_empty() {
             // Duty-cycle wait: jump to the earliest wake-up among eligible
             // senders. The remaining delay is the wait plus the remainder.
-            let eligible = eligible_senders(self.topo, informed);
+            self.state.load(self.topo, informed);
+            let eligible = self.state.candidates();
             assert!(
                 !eligible.is_empty(),
                 "broadcast cannot complete: disconnected topology"
@@ -375,7 +402,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                         key,
                         MemoEntry::Exact {
                             rem: wait + r,
-                            choice: vec![],
+                            choice: Box::default(),
                         },
                     );
                     Some(wait + r)
@@ -387,7 +414,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             };
         }
 
-        let branches = self.branches(informed, &candidates);
+        let branches = self.branches(informed);
         debug_assert!(!branches.is_empty());
 
         let trace_idx = if self.config.collect_trace {
@@ -446,7 +473,13 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                 if let Some(ti) = trace_idx {
                     self.trace.states[ti].chosen = Some(bi);
                 }
-                self.memo.insert(key, MemoEntry::Exact { rem, choice });
+                self.memo.insert(
+                    key,
+                    MemoEntry::Exact {
+                        rem,
+                        choice: choice.into_boxed_slice(),
+                    },
+                );
                 Some(rem)
             }
             None => {
@@ -457,7 +490,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
     }
 
     /// Records `lb` as a proven lower bound, keeping the strongest one.
-    fn bump_lower_bound(&mut self, key: (u64, Slot), lb: Slot) {
+    fn bump_lower_bound(&mut self, key: (StateId, Slot), lb: Slot) {
         match self.memo.get_mut(&key) {
             Some(MemoEntry::Exact { .. }) => {}
             Some(MemoEntry::LowerBound(old)) => {
@@ -472,14 +505,14 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
     }
 
     /// Replays the memoized choices from the root into a schedule.
-    fn reconstruct(&self, source: NodeId, t_s: Slot, w0: &NodeSet) -> Schedule {
+    fn reconstruct(&mut self, source: NodeId, t_s: Slot, w0: &NodeSet) -> Schedule {
         let n = self.topo.len();
         let mut informed = w0.clone();
         let mut receive_slot = vec![t_s; n];
         let mut entries = Vec::new();
         let mut t = t_s;
         while !informed.is_full() {
-            let key = (informed.fingerprint(), t % self.wake.period());
+            let key = (self.interner.intern(&informed), t % self.wake.period());
             let entry = match self.memo.get(&key) {
                 Some(MemoEntry::Exact { choice, .. }) => choice,
                 _ => unreachable!("optimal path must be memoized exactly"),
@@ -487,8 +520,10 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             if entry.is_empty() {
                 // A recorded wait: jump to the next wake-up among eligible
                 // senders (same computation as the search).
-                let eligible = eligible_senders(self.topo, &informed);
-                t = eligible
+                self.state.load(self.topo, &informed);
+                t = self
+                    .state
+                    .candidates()
                     .iter()
                     .map(|u| self.wake.next_send(u.idx(), t + 1))
                     .min()
@@ -506,7 +541,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             informed.union_with(&advance);
             entries.push(ScheduleEntry {
                 slot: t,
-                senders: entry.clone(),
+                senders: entry.to_vec(),
             });
             t += 1;
         }

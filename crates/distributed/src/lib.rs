@@ -30,4 +30,6 @@ mod localized;
 
 pub use econstruct::{distributed_emodel, matches_centralized, DistributedEStats};
 pub use knowledge::NeighborhoodKnowledge;
-pub use localized::{localized_broadcast, LocalizedOutcome, LocalizedStats};
+pub use localized::{
+    localized_broadcast, localized_broadcast_with, LocalizedOutcome, LocalizedStats,
+};

@@ -21,7 +21,7 @@
 //! compare the localized latency against the centralized pipeline.
 
 use crate::knowledge::NeighborhoodKnowledge;
-use mlbs_core::{EModel, Schedule, ScheduleEntry};
+use mlbs_core::{BroadcastState, EModel, Schedule, ScheduleEntry};
 use wsn_bitset::NodeSet;
 use wsn_dutycycle::{Slot, WakeSchedule};
 use wsn_topology::{NodeId, Topology};
@@ -61,9 +61,30 @@ pub fn localized_broadcast<S: WakeSchedule>(
     emodel: &EModel,
     start_from: Slot,
 ) -> LocalizedOutcome {
+    localized_broadcast_with(
+        topo,
+        source,
+        wake,
+        emodel,
+        start_from,
+        &mut BroadcastState::new(),
+    )
+}
+
+/// As [`localized_broadcast`], reusing a caller-provided substrate for the
+/// per-slot eligibility and `W̄` scratch state.
+pub fn localized_broadcast_with<S: WakeSchedule>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    emodel: &EModel,
+    start_from: Slot,
+    state: &mut BroadcastState,
+) -> LocalizedOutcome {
     let n = topo.len();
     let knowledge = NeighborhoodKnowledge::collect(topo);
     let t_s = wake.next_send(source.idx(), start_from);
+    state.reset_for(topo);
 
     let mut informed = NodeSet::new(n);
     informed.insert(source.idx());
@@ -74,14 +95,11 @@ pub fn localized_broadcast<S: WakeSchedule>(
     let mut t = t_s;
 
     while !informed.is_full() {
-        let uninformed = informed.complement();
         // Everyone locally eligible: informed, not yet relayed its copy to
         // completion, has an uninformed neighbor.
-        let eligible: Vec<NodeId> = informed
-            .iter()
-            .map(|u| NodeId(u as u32))
-            .filter(|&u| topo.neighbor_set(u).intersects(&uninformed))
-            .collect();
+        state.load(topo, &informed);
+        let uninformed = state.uninformed();
+        let eligible = state.candidates();
         assert!(
             !eligible.is_empty(),
             "broadcast cannot complete: disconnected topology"
@@ -107,8 +125,8 @@ pub fn localized_broadcast<S: WakeSchedule>(
         // Priorities: Eq. (10) score first, then coverage, then id.
         let priority = |u: NodeId| -> (f64, usize, i64) {
             (
-                emodel.score(topo, u, &uninformed),
-                topo.neighbor_set(u).intersection_len(&uninformed),
+                emodel.score(topo, u, uninformed),
+                topo.neighbor_set(u).intersection_len(uninformed),
                 -(u.idx() as i64),
             )
         };
@@ -138,7 +156,7 @@ pub fn localized_broadcast<S: WakeSchedule>(
                         j != i
                             && knowledge[u.idx()].two_hop.contains(awake[j].idx())
                             && priority(awake[j]) > pu
-                            && knowledge[u.idx()].conflicts_locally(topo, awake[j], &uninformed)
+                            && knowledge[u.idx()].conflicts_locally(topo, awake[j], uninformed)
                     })
                     .collect()
             })

@@ -1,0 +1,669 @@
+//! Incremental conflict-graph maintenance.
+//!
+//! The searches of `mlbs-core` build a conflict graph at *every* state, and
+//! consecutive states are near-identical: an advance shrinks the uninformed
+//! set by one coverage step and churns the candidate list by a few nodes.
+//! Rebuilding from scratch repeats `O(k²)` pairwise triple-intersections
+//! that almost all produce the answer they produced one state earlier.
+//!
+//! [`ConflictGraphBuilder`] exploits the structure of the predicate
+//! `conflict(u, v) ⇔ N(u) ∩ N(v) ∩ W̄ ≠ ∅`:
+//!
+//! * a node `d` *entering* `W̄` makes every candidate pair inside `N(d)`
+//!   conflict — edges are added directly, no test needed;
+//! * a node `d` *leaving* `W̄` can only break edges between candidates in
+//!   `N(d)` — only those few pairs are retested;
+//! * pairs untouched by the delta keep their edge state verbatim, and
+//!   candidates present on both sides of a churn keep their rows (carried
+//!   over under the new indexing).
+//!
+//! On wide universes, retested pairs get their witness set `N(u) ∩ N(v)`
+//! computed once and cached for the lifetime of an instance, so a retest
+//! scans a handful of witness nodes instead of re-intersecting whole
+//! neighborhoods (below [`WITNESS_RETEST_MIN_UNIVERSE`] the fused
+//! word-parallel triple intersection is faster and the cache stays cold).
+//! Row storage, index maps and the cache are arena-style scratch owned by
+//! the builder — steady-state updates allocate little beyond first-touch
+//! witness entries.
+
+use crate::ConflictGraph;
+use std::collections::HashMap;
+use wsn_bitset::NodeSet;
+use wsn_topology::{NodeId, Topology};
+
+/// Work accounting for incremental conflict-graph maintenance.
+///
+/// `rows_built + rows_reused` is exactly the number of rows a
+/// rebuild-per-update strategy would have computed, so the reduction the
+/// builder achieves is `(rows_built + rows_reused) / rows_built`
+/// (consumers that previously built *several* graphs per state, like the
+/// OPT search, multiply that by their sharing factor).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConflictStats {
+    /// Updates served by a from-scratch build.
+    pub full_builds: usize,
+    /// Updates served by the delta path.
+    pub delta_updates: usize,
+    /// Rows computed from scratch (fresh pairwise tests).
+    pub rows_built: usize,
+    /// Rows carried across an update and patched by delta.
+    pub rows_reused: usize,
+    /// Pairwise conflict evaluations performed (fused triple
+    /// intersections for fresh pairs, witness scans for retests).
+    pub pair_tests: usize,
+}
+
+impl ConflictStats {
+    /// Component-wise `self − earlier`, for windowed accounting.
+    pub fn since(&self, earlier: &ConflictStats) -> ConflictStats {
+        ConflictStats {
+            full_builds: self.full_builds - earlier.full_builds,
+            delta_updates: self.delta_updates - earlier.delta_updates,
+            rows_built: self.rows_built - earlier.rows_built,
+            rows_reused: self.rows_reused - earlier.rows_reused,
+            pair_tests: self.pair_tests - earlier.pair_tests,
+        }
+    }
+}
+
+/// Sentinel for "node is not a candidate" in the slot maps.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Universe size (in nodes) above which retests go through the cached
+/// witness sets. Below it a `NodeSet` spans only a few words and the fused
+/// triple intersection is faster than any cache (measured on the paper
+/// grid); above it witness scans avoid touching ever-wider word rows.
+const WITNESS_RETEST_MIN_UNIVERSE: usize = 1024;
+
+/// Reusable, incrementally-updated [`ConflictGraph`] factory.
+///
+/// One builder serves one topology between [`ConflictGraphBuilder::reset`]
+/// calls; [`ConflictGraphBuilder::update`] produces a graph that is
+/// bit-identical to [`ConflictGraph::build`] on the same inputs (the
+/// workspace proptests assert this under random delta sequences).
+#[derive(Clone, Debug)]
+pub struct ConflictGraphBuilder {
+    graph: ConflictGraph,
+    /// `true` once `graph` reflects a previous `update` for this universe.
+    valid: bool,
+    /// Uninformed set of the previous update.
+    uninformed: NodeSet,
+    /// node → slot in the *current* candidate list.
+    slot_of: Vec<u32>,
+    /// Back buffer for `slot_of` during re-indexing.
+    slot_next: Vec<u32>,
+    /// Back buffer for rows during re-indexing.
+    prev_rows: Vec<NodeSet>,
+    /// Back buffer for the candidate list during re-indexing.
+    prev_candidates: Vec<NodeId>,
+    /// Cached witness sets `N(u) ∩ N(v)`, keyed by packed node-id pair.
+    witness: HashMap<u64, Box<[u32]>>,
+    /// Scratch: candidate slots adjacent to one changed node.
+    adj_slots: Vec<u32>,
+    /// Scratch: nodes that left W̄ since the previous update.
+    removed_buf: Vec<u32>,
+    /// Scratch: nodes that entered W̄ since the previous update.
+    added_buf: Vec<u32>,
+    /// [`Topology::token`] of the topology the cached state belongs to
+    /// (0 = none). A different token forces a reset even at equal size.
+    topo_token: u64,
+    universe: usize,
+    stats: ConflictStats,
+}
+
+impl Default for ConflictGraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConflictGraphBuilder {
+    /// Creates an empty builder; it sizes itself on first use.
+    pub fn new() -> Self {
+        ConflictGraphBuilder {
+            graph: ConflictGraph {
+                candidates: Vec::new(),
+                rows: Vec::new(),
+                by_id: Vec::new(),
+            },
+            valid: false,
+            uninformed: NodeSet::new(0),
+            slot_of: Vec::new(),
+            slot_next: Vec::new(),
+            prev_rows: Vec::new(),
+            prev_candidates: Vec::new(),
+            witness: HashMap::new(),
+            adj_slots: Vec::new(),
+            removed_buf: Vec::new(),
+            added_buf: Vec::new(),
+            topo_token: 0,
+            universe: 0,
+            stats: ConflictStats::default(),
+        }
+    }
+
+    /// Invalidates all cached state and re-sizes for a universe of `n`
+    /// nodes, keeping allocations. [`ConflictGraphBuilder::update`] calls
+    /// this automatically whenever it sees a different [`Topology::token`],
+    /// so switching topologies is safe without manual resets; call it
+    /// yourself to drop caches early.
+    pub fn reset(&mut self, n: usize) {
+        self.valid = false;
+        self.topo_token = 0;
+        self.universe = n;
+        self.uninformed.reset(n);
+        self.slot_of.clear();
+        self.slot_of.resize(n, NO_SLOT);
+        self.slot_next.clear();
+        self.slot_next.resize(n, NO_SLOT);
+        self.witness.clear();
+        self.graph.candidates.clear();
+        self.graph.rows.clear();
+        self.graph.by_id.clear();
+        self.stats = ConflictStats::default();
+    }
+
+    /// Work accounting since the last [`ConflictGraphBuilder::reset`].
+    #[inline]
+    pub fn stats(&self) -> &ConflictStats {
+        &self.stats
+    }
+
+    /// The most recently produced graph.
+    #[inline]
+    pub fn graph(&self) -> &ConflictGraph {
+        &self.graph
+    }
+
+    /// Produces the conflict graph of `candidates` against `uninformed`,
+    /// reusing as much of the previous graph as the delta allows.
+    ///
+    /// Row indices match `candidates` order exactly, as with
+    /// [`ConflictGraph::build`].
+    pub fn update(
+        &mut self,
+        topo: &Topology,
+        candidates: &[NodeId],
+        uninformed: &NodeSet,
+    ) -> &ConflictGraph {
+        let n = topo.len();
+        debug_assert_eq!(uninformed.universe(), n);
+        if n != self.universe || topo.token() != self.topo_token {
+            self.reset(n);
+            self.topo_token = topo.token();
+        }
+        // Cost model: patching visits the candidate-neighborhood of every
+        // changed node (`avg_deg` slot lookups each) and then retests the
+        // pairs inside it — quadratic in the expected number of candidates
+        // adjacent to a changed node (`deg · k/n` under uniform density).
+        // A full build runs `k(k−1)/2` fused pair tests. Prefer the delta
+        // exactly when it is the cheaper side: sibling states and
+        // late-broadcast advances (small `changed`, large `k`) patch;
+        // early wide advances rebuild.
+        let k = candidates.len();
+        let n_f = n.max(1) as f64;
+        let changed = self.changed_count(uninformed) as f64;
+        let avg_deg = topo.average_degree();
+        let est_c = avg_deg * (k as f64 / n_f).min(1.0);
+        let delta_cost = changed * (1.0 + avg_deg + est_c * est_c / 2.0);
+        let full_cost = (k + k * k.saturating_sub(1) / 2) as f64;
+        if !self.valid || delta_cost > full_cost {
+            self.full_build(topo, candidates, uninformed);
+        } else if candidates == self.graph.candidates.as_slice() {
+            self.patch_in_place(topo, uninformed);
+        } else {
+            self.reindex(topo, candidates, uninformed);
+        }
+        self.uninformed.copy_from(uninformed);
+        self.valid = true;
+        &self.graph
+    }
+
+    /// `|old W̄ △ new W̄|`, cheap popcount guard for the delta heuristics.
+    fn changed_count(&self, uninformed: &NodeSet) -> usize {
+        self.uninformed
+            .words()
+            .iter()
+            .zip(uninformed.words())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Evaluates the conflict predicate for one pair directly — one fused
+    /// word-parallel triple intersection, the right tool for *fresh* pairs
+    /// (full builds, newcomer rows) where no delta knowledge exists.
+    fn pair_conflicts_fresh(
+        &mut self,
+        topo: &Topology,
+        u: NodeId,
+        v: NodeId,
+        unf: &NodeSet,
+    ) -> bool {
+        self.stats.pair_tests += 1;
+        crate::conflicts(topo, u, v, unf)
+    }
+
+    /// Retests a pair whose edge state may have changed. On wide universes
+    /// the cached witness set `N(u) ∩ N(v)` pays: the same pairs are
+    /// retested over and over as witnesses drain out of `W̄`, and scanning
+    /// a handful of cached witness nodes beats re-intersecting full-width
+    /// word rows. Below the threshold the fused triple intersection is a
+    /// few words long and wins outright (measured on the paper grid), so
+    /// the cache stays cold there.
+    fn pair_retest(&mut self, topo: &Topology, u: NodeId, v: NodeId, unf: &NodeSet) -> bool {
+        if self.universe < WITNESS_RETEST_MIN_UNIVERSE {
+            return self.pair_conflicts_fresh(topo, u, v, unf);
+        }
+        let key = pack_pair(u, v);
+        let w = self.witness.entry(key).or_insert_with(|| {
+            let nu = topo.neighbor_set(u);
+            let nv = topo.neighbor_set(v);
+            if !nu.intersects(nv) {
+                Box::default()
+            } else {
+                nu.intersection(nv)
+                    .iter()
+                    .map(|x| x as u32)
+                    .collect::<Vec<u32>>()
+                    .into_boxed_slice()
+            }
+        });
+        let hit = w.iter().any(|&x| unf.contains(x as usize));
+        self.stats.pair_tests += 1;
+        hit
+    }
+
+    /// From-scratch build into the reused row arena.
+    fn full_build(&mut self, topo: &Topology, candidates: &[NodeId], unf: &NodeSet) {
+        let k = candidates.len();
+        self.clear_slots();
+        self.graph.candidates.clear();
+        self.graph.candidates.extend_from_slice(candidates);
+        for (i, &u) in candidates.iter().enumerate() {
+            self.slot_of[u.idx()] = i as u32;
+        }
+        prepare_rows(&mut self.graph.rows, k);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if self.pair_conflicts_fresh(topo, candidates[i], candidates[j], unf) {
+                    self.graph.rows[i].insert(j);
+                    self.graph.rows[j].insert(i);
+                }
+            }
+        }
+        self.graph.rebuild_index();
+        self.stats.full_builds += 1;
+        self.stats.rows_built += k;
+    }
+
+    /// Splits `old W̄ △ new W̄` into the removed / added scratch buffers.
+    fn split_delta(&mut self, unf: &NodeSet) {
+        self.removed_buf.clear();
+        self.added_buf.clear();
+        for (wi, (&old, &new)) in self.uninformed.words().iter().zip(unf.words()).enumerate() {
+            let mut gone = old & !new;
+            while gone != 0 {
+                self.removed_buf
+                    .push((wi * 64) as u32 + gone.trailing_zeros());
+                gone &= gone - 1;
+            }
+            let mut fresh = new & !old;
+            while fresh != 0 {
+                self.added_buf
+                    .push((wi * 64) as u32 + fresh.trailing_zeros());
+                fresh &= fresh - 1;
+            }
+        }
+    }
+
+    /// Same candidates, different uninformed set: patch rows in place.
+    fn patch_in_place(&mut self, topo: &Topology, unf: &NodeSet) {
+        let k = self.graph.candidates.len();
+        self.split_delta(unf);
+        // Nodes that left W̄ can only break edges among their neighbors.
+        for di in 0..self.removed_buf.len() {
+            let d = self.removed_buf[di] as usize;
+            self.collect_adjacent_slots(topo, d);
+            for a_pos in 0..self.adj_slots.len() {
+                let a = self.adj_slots[a_pos] as usize;
+                for b_pos in (a_pos + 1)..self.adj_slots.len() {
+                    let b = self.adj_slots[b_pos] as usize;
+                    if self.graph.rows[a].contains(b) {
+                        let (u, v) = (self.graph.candidates[a], self.graph.candidates[b]);
+                        if !self.pair_retest(topo, u, v, unf) {
+                            self.graph.rows[a].remove(b);
+                            self.graph.rows[b].remove(a);
+                        }
+                    }
+                }
+            }
+        }
+        // Nodes that entered W̄ are themselves fresh witnesses: every
+        // candidate pair hearing them now conflicts, no test needed.
+        for di in 0..self.added_buf.len() {
+            let d = self.added_buf[di] as usize;
+            self.collect_adjacent_slots(topo, d);
+            for a_pos in 0..self.adj_slots.len() {
+                let a = self.adj_slots[a_pos] as usize;
+                for b_pos in (a_pos + 1)..self.adj_slots.len() {
+                    let b = self.adj_slots[b_pos] as usize;
+                    self.graph.rows[a].insert(b);
+                    self.graph.rows[b].insert(a);
+                }
+            }
+        }
+        self.stats.delta_updates += 1;
+        self.stats.rows_reused += k;
+    }
+
+    /// Candidate list changed: carry rows of kept candidates into the new
+    /// indexing, patch them for the uninformed delta, and build fresh rows
+    /// only for newcomers.
+    fn reindex(&mut self, topo: &Topology, candidates: &[NodeId], unf: &NodeSet) {
+        let k = candidates.len();
+        for (i, &u) in candidates.iter().enumerate() {
+            self.slot_next[u.idx()] = i as u32;
+        }
+        let kept = candidates
+            .iter()
+            .filter(|u| self.slot_of[u.idx()] != NO_SLOT)
+            .count();
+        if kept * 2 < k {
+            // Too much churn for the carry to pay off.
+            for &u in candidates {
+                self.slot_next[u.idx()] = NO_SLOT;
+            }
+            self.full_build(topo, candidates, unf);
+            return;
+        }
+
+        std::mem::swap(&mut self.graph.rows, &mut self.prev_rows);
+        std::mem::swap(&mut self.graph.candidates, &mut self.prev_candidates);
+        self.graph.candidates.clear();
+        self.graph.candidates.extend_from_slice(candidates);
+        prepare_rows(&mut self.graph.rows, k);
+
+        // Carry: every old edge whose endpoints both survived.
+        for (i_old, &u) in self.prev_candidates.iter().enumerate() {
+            let ni = self.slot_next[u.idx()];
+            if ni == NO_SLOT {
+                continue;
+            }
+            for j_old in self.prev_rows[i_old].iter() {
+                if j_old <= i_old {
+                    continue;
+                }
+                let nj = self.slot_next[self.prev_candidates[j_old].idx()];
+                if nj != NO_SLOT {
+                    self.graph.rows[ni as usize].insert(nj as usize);
+                    self.graph.rows[nj as usize].insert(ni as usize);
+                }
+            }
+        }
+
+        // Patch kept-kept pairs for the uninformed delta (newcomer pairs
+        // are tested fresh below, against the new set directly).
+        self.split_delta(unf);
+        for di in 0..self.removed_buf.len() {
+            let d = self.removed_buf[di] as usize;
+            self.collect_adjacent_kept_slots(topo, d);
+            for a_pos in 0..self.adj_slots.len() {
+                let a = self.adj_slots[a_pos] as usize;
+                for b_pos in (a_pos + 1)..self.adj_slots.len() {
+                    let b = self.adj_slots[b_pos] as usize;
+                    if self.graph.rows[a].contains(b) {
+                        let (u, v) = (self.graph.candidates[a], self.graph.candidates[b]);
+                        if !self.pair_retest(topo, u, v, unf) {
+                            self.graph.rows[a].remove(b);
+                            self.graph.rows[b].remove(a);
+                        }
+                    }
+                }
+            }
+        }
+        for di in 0..self.added_buf.len() {
+            let d = self.added_buf[di] as usize;
+            self.collect_adjacent_kept_slots(topo, d);
+            for a_pos in 0..self.adj_slots.len() {
+                let a = self.adj_slots[a_pos] as usize;
+                for b_pos in (a_pos + 1)..self.adj_slots.len() {
+                    let b = self.adj_slots[b_pos] as usize;
+                    self.graph.rows[a].insert(b);
+                    self.graph.rows[b].insert(a);
+                }
+            }
+        }
+
+        // Fresh rows for newcomers, against everyone.
+        for a in 0..k {
+            let u = candidates[a];
+            if self.slot_of[u.idx()] != NO_SLOT {
+                continue; // kept, handled above
+            }
+            for (b, &v) in candidates.iter().enumerate() {
+                if b == a || (self.slot_of[v.idx()] == NO_SLOT && b < a) {
+                    continue; // self, or newcomer pair already tested
+                }
+                if self.pair_conflicts_fresh(topo, u, v, unf) {
+                    self.graph.rows[a].insert(b);
+                    self.graph.rows[b].insert(a);
+                }
+            }
+        }
+
+        // Promote the new slot map and clean the old one for reuse.
+        std::mem::swap(&mut self.slot_of, &mut self.slot_next);
+        for &u in &self.prev_candidates {
+            self.slot_next[u.idx()] = NO_SLOT;
+        }
+        self.graph.rebuild_index();
+        self.stats.delta_updates += 1;
+        self.stats.rows_reused += kept;
+        self.stats.rows_built += k - kept;
+    }
+
+    /// Clears `slot_of` entries of the current candidate list.
+    fn clear_slots(&mut self) {
+        for i in 0..self.graph.candidates.len() {
+            let u = self.graph.candidates[i];
+            self.slot_of[u.idx()] = NO_SLOT;
+        }
+    }
+
+    /// Fills `adj_slots` with current-graph slots of candidates adjacent
+    /// to node `d`.
+    fn collect_adjacent_slots(&mut self, topo: &Topology, d: usize) {
+        self.adj_slots.clear();
+        for &v in topo.neighbors(NodeId(d as u32)) {
+            let s = self.slot_of[v.idx()];
+            if s != NO_SLOT {
+                self.adj_slots.push(s);
+            }
+        }
+    }
+
+    /// As [`Self::collect_adjacent_slots`], mid-reindex: resolves through
+    /// the *next* slot map but keeps only candidates that also held a slot
+    /// in the previous graph (kept candidates).
+    fn collect_adjacent_kept_slots(&mut self, topo: &Topology, d: usize) {
+        self.adj_slots.clear();
+        for &v in topo.neighbors(NodeId(d as u32)) {
+            let s = self.slot_next[v.idx()];
+            if s != NO_SLOT && self.slot_of[v.idx()] != NO_SLOT {
+                self.adj_slots.push(s);
+            }
+        }
+    }
+}
+
+/// Packs an unordered node pair into a symmetric cache key.
+#[inline]
+fn pack_pair(u: NodeId, v: NodeId) -> u64 {
+    let (lo, hi) = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+/// Re-sizes the row arena to `k` empty rows over a `k`-slot universe,
+/// reusing every allocation it can.
+fn prepare_rows(rows: &mut Vec<NodeSet>, k: usize) {
+    rows.truncate(k);
+    for r in rows.iter_mut() {
+        r.reset(k);
+    }
+    while rows.len() < k {
+        rows.push(NodeSet::new(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_geom::Point;
+    use wsn_topology::Topology;
+
+    fn line(n: usize) -> Topology {
+        Topology::unit_disk(
+            (0..n).map(|i| Point::new(i as f64 * 0.8, 0.0)).collect(),
+            1.0,
+        )
+    }
+
+    fn assert_graphs_equal(a: &ConflictGraph, b: &ConflictGraph) {
+        assert_eq!(a.candidates(), b.candidates());
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.row(i), b.row(i), "row {i} differs");
+        }
+    }
+
+    #[test]
+    fn matches_scratch_build_on_shrinking_uninformed() {
+        let t = line(12);
+        let cands: Vec<NodeId> = (0..6).map(|i| NodeId(i as u32 * 2)).collect();
+        let mut b = ConflictGraphBuilder::new();
+        let mut unf = NodeSet::full(12);
+        for informed in 0..12usize {
+            unf.remove(informed);
+            let scratch = ConflictGraph::build(&t, &cands, &unf);
+            assert_graphs_equal(b.update(&t, &cands, &unf), &scratch);
+        }
+        assert!(b.stats().delta_updates > 0, "delta path exercised");
+    }
+
+    #[test]
+    fn matches_scratch_build_on_candidate_churn() {
+        let t = line(16);
+        let mut b = ConflictGraphBuilder::new();
+        let mut unf = NodeSet::full(16);
+        unf.remove(0);
+        unf.remove(1);
+        let lists: Vec<Vec<NodeId>> = vec![
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(0), NodeId(2), NodeId(3), NodeId(4)], // drop 1, add 4
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5), NodeId(6)],
+            vec![NodeId(9), NodeId(11), NodeId(13)], // total churn → full build
+        ];
+        for (step, cands) in lists.iter().enumerate() {
+            unf.remove(step + 2); // shrink alongside the churn
+            let scratch = ConflictGraph::build(&t, cands, &unf);
+            assert_graphs_equal(b.update(&t, cands, &unf), &scratch);
+        }
+    }
+
+    #[test]
+    fn matches_scratch_build_when_uninformed_grows_back() {
+        // DFS backtracking makes W̄ grow between consecutive updates.
+        let t = line(10);
+        let cands: Vec<NodeId> = (0..5).map(|i| NodeId(i as u32)).collect();
+        let mut b = ConflictGraphBuilder::new();
+        let mut unf = NodeSet::full(10);
+        for i in 0..6 {
+            unf.remove(i);
+        }
+        b.update(&t, &cands, &unf);
+        for i in 3..6 {
+            unf.insert(i); // backtrack: three nodes return to W̄
+        }
+        let scratch = ConflictGraph::build(&t, &cands, &unf);
+        assert_graphs_equal(b.update(&t, &cands, &unf), &scratch);
+    }
+
+    #[test]
+    fn reset_isolates_topologies() {
+        let t1 = line(8);
+        let t2 = Topology::unit_disk(
+            (0..8).map(|i| Point::new(0.0, i as f64 * 0.5)).collect(),
+            2.0,
+        );
+        let cands: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut b = ConflictGraphBuilder::new();
+        let unf = NodeSet::full(8);
+        b.update(&t1, &cands, &unf);
+        b.reset(t2.len());
+        assert_graphs_equal(
+            b.update(&t2, &cands, &unf),
+            &ConflictGraph::build(&t2, &cands, &unf),
+        );
+    }
+
+    #[test]
+    fn same_size_topology_swap_auto_resets() {
+        // Two different 8-node topologies: the size check alone cannot
+        // tell them apart, the identity token must. No manual reset.
+        let t1 = line(8);
+        let t2 = Topology::unit_disk(
+            (0..8).map(|i| Point::new(0.0, i as f64 * 0.5)).collect(),
+            2.0,
+        );
+        let cands: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut b = ConflictGraphBuilder::new();
+        let unf = NodeSet::full(8);
+        b.update(&t1, &cands, &unf);
+        assert_graphs_equal(
+            b.update(&t2, &cands, &unf),
+            &ConflictGraph::build(&t2, &cands, &unf),
+        );
+        // And back again — the cache never leaks across swaps.
+        assert_graphs_equal(
+            b.update(&t1, &cands, &unf),
+            &ConflictGraph::build(&t1, &cands, &unf),
+        );
+    }
+
+    #[test]
+    fn witness_retest_path_matches_scratch_on_wide_universe() {
+        // Above WITNESS_RETEST_MIN_UNIVERSE retests run through the cached
+        // witness sets; walk a shrink sequence on a 1100-node line and
+        // check bit-identity against from-scratch builds.
+        let t = line(1100);
+        let cands: Vec<NodeId> = (500..540).map(|i| NodeId(i as u32)).collect();
+        let mut b = ConflictGraphBuilder::new();
+        let mut unf = NodeSet::full(1100);
+        b.update(&t, &cands, &unf);
+        for step in 0..6usize {
+            // Inform a clump near the candidates so edges lose witnesses.
+            for d in (498 + step * 8)..(498 + step * 8 + 8) {
+                unf.remove(d);
+            }
+            let scratch = ConflictGraph::build(&t, &cands, &unf);
+            assert_graphs_equal(b.update(&t, &cands, &unf), &scratch);
+        }
+        assert!(b.stats().delta_updates > 0);
+    }
+
+    #[test]
+    fn row_accounting_adds_up() {
+        let t = line(12);
+        let cands: Vec<NodeId> = (0..6).map(|i| NodeId(i as u32)).collect();
+        let mut b = ConflictGraphBuilder::new();
+        let mut unf = NodeSet::full(12);
+        b.update(&t, &cands, &unf);
+        unf.remove(7);
+        b.update(&t, &cands, &unf);
+        let s = *b.stats();
+        assert_eq!(s.full_builds, 1);
+        assert_eq!(s.delta_updates, 1);
+        assert_eq!(s.rows_built, 6);
+        assert_eq!(s.rows_reused, 6);
+    }
+}

@@ -9,9 +9,17 @@
 //! * [`ConflictGraph`] — the conflict relation over a candidate sender set,
 //!   stored as bitset adjacency so the coloring crate can enumerate
 //!   conflict-free sets with word-parallel operations;
+//! * [`ConflictGraphBuilder`] — incremental maintenance of a conflict
+//!   graph across the small state deltas of a broadcast search (uninformed
+//!   set shrinks, candidate list churns by a few nodes), with cached
+//!   per-pair witness sets and reusable row buffers;
 //! * [`resolve_receptions`] — receiver-side collision resolution for
 //!   simulating *unscheduled* protocols (e.g. naive flooding, where the
 //!   broadcast storm of reference \[17\] shows up as collisions).
+
+mod builder;
+
+pub use builder::{ConflictGraphBuilder, ConflictStats};
 
 use wsn_bitset::NodeSet;
 use wsn_topology::{NodeId, Topology};
@@ -32,6 +40,9 @@ pub fn conflicts(topo: &Topology, u: NodeId, v: NodeId, uninformed: &NodeSet) ->
 pub struct ConflictGraph {
     candidates: Vec<NodeId>,
     rows: Vec<NodeSet>,
+    /// `(node, index)` sorted by node id — the candidate→index map behind
+    /// [`ConflictGraph::index_of`].
+    by_id: Vec<(NodeId, u32)>,
 }
 
 impl ConflictGraph {
@@ -39,7 +50,9 @@ impl ConflictGraph {
     ///
     /// `O(k²)` pairwise tests, each a fused word-parallel triple
     /// intersection; `k` (simultaneous eligible senders) is small compared
-    /// to `n` in every workload the paper evaluates.
+    /// to `n` in every workload the paper evaluates. Hot loops that build
+    /// graphs per search state should prefer a reused
+    /// [`ConflictGraphBuilder`] instead.
     pub fn build(topo: &Topology, candidates: &[NodeId], uninformed: &NodeSet) -> Self {
         let k = candidates.len();
         let mut rows = vec![NodeSet::new(k); k];
@@ -51,10 +64,34 @@ impl ConflictGraph {
                 }
             }
         }
-        ConflictGraph {
+        let mut cg = ConflictGraph {
             candidates: candidates.to_vec(),
             rows,
-        }
+            by_id: Vec::new(),
+        };
+        cg.rebuild_index();
+        cg
+    }
+
+    /// Rebuilds the sorted candidate→index map after `candidates` changed.
+    fn rebuild_index(&mut self) {
+        self.by_id.clear();
+        self.by_id.extend(
+            self.candidates
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| (u, i as u32)),
+        );
+        self.by_id.sort_unstable();
+    }
+
+    /// Index of candidate `u` in this graph, if present (`O(log k)`).
+    #[inline]
+    pub fn index_of(&self, u: NodeId) -> Option<usize> {
+        self.by_id
+            .binary_search_by_key(&u, |&(v, _)| v)
+            .ok()
+            .map(|p| self.by_id[p].1 as usize)
     }
 
     /// Number of candidates.

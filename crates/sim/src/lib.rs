@@ -29,7 +29,7 @@ mod sweep;
 
 pub mod csv;
 
-pub use algorithm::{run_instance, Algorithm, Regime, RunResult};
+pub use algorithm::{run_instance, run_instance_with, Algorithm, Regime, RunResult};
 pub use energy::{energy_of_schedule, EnergyReport, RadioEnergyModel};
 pub use lossy::{mean_coverage, replay_lossy, LossyOutcome};
 pub use stats::Summary;

@@ -1,9 +1,9 @@
 //! The density-sweep experiment: Figures 3, 4 and 6.
 
-use crate::algorithm::{run_instance, Algorithm, Regime};
+use crate::algorithm::{run_instance_with, Algorithm, Regime};
 use crate::derive_seed;
 use crate::stats::Summary;
-use mlbs_core::SearchConfig;
+use mlbs_core::{BroadcastState, SearchConfig};
 use std::collections::HashMap;
 use wsn_topology::deploy::SyntheticDeployment;
 
@@ -73,14 +73,20 @@ impl Sweep {
                 let res_tx = res_tx.clone();
                 let sweep = &*self;
                 let (jobs, next_job) = (&jobs, &next_job);
-                scope.spawn(move || loop {
-                    let k = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(nodes, instance)) = jobs.get(k) else {
-                        return;
-                    };
-                    let rec = sweep.run_one(nodes, instance);
-                    if res_tx.send((k, rec)).is_err() {
-                        return;
+                scope.spawn(move || {
+                    // One broadcast-state substrate per worker, re-targeted
+                    // per instance — scratch sets, candidate buffers and
+                    // the conflict builder live for the whole sweep.
+                    let mut substrate = BroadcastState::new();
+                    loop {
+                        let k = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(nodes, instance)) = jobs.get(k) else {
+                            return;
+                        };
+                        let rec = sweep.run_one(nodes, instance, &mut substrate);
+                        if res_tx.send((k, rec)).is_err() {
+                            return;
+                        }
                     }
                 });
             }
@@ -149,8 +155,14 @@ impl Sweep {
         }
     }
 
-    /// One instance: sample the deployment, run every algorithm on it.
-    fn run_one(&self, nodes: usize, instance: usize) -> InstanceRecord {
+    /// One instance: sample the deployment, run every algorithm on it
+    /// through the worker's shared substrate.
+    fn run_one(
+        &self,
+        nodes: usize,
+        instance: usize,
+        substrate: &mut BroadcastState,
+    ) -> InstanceRecord {
         let seed = derive_seed(self.master_seed, nodes as u64, instance as u64);
         let deployment = SyntheticDeployment::paper(nodes);
         let (topo, source) = deployment.sample(seed);
@@ -161,7 +173,15 @@ impl Sweep {
             .map(|&alg| {
                 (
                     alg,
-                    run_instance(&topo, source, self.regime, alg, wake_seed, &self.search),
+                    run_instance_with(
+                        &topo,
+                        source,
+                        self.regime,
+                        alg,
+                        wake_seed,
+                        &self.search,
+                        substrate,
+                    ),
                 )
             })
             .collect();

@@ -19,7 +19,14 @@ pub struct Topology {
     neighbor_sets: Vec<NodeSet>,
     /// `closed_sets[u]` = `N[u] = N(u) ∪ {u}`, used by coverage checks.
     closed_sets: Vec<NodeSet>,
+    /// Process-unique identity token (clones share it — their adjacency is
+    /// identical). Lets per-topology caches detect a swap to a *different*
+    /// topology that happens to have the same node count.
+    token: u64,
 }
+
+/// Source of [`Topology::token`] values; 0 is reserved for "no topology".
+static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Topology {
     /// Builds the UDG topology of `positions` with communication `radius`.
@@ -107,7 +114,19 @@ impl Topology {
             csr,
             neighbor_sets,
             closed_sets,
+            token: NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// Process-unique identity of this topology (shared by clones, never 0).
+    ///
+    /// Caches that hold per-topology state (e.g. the incremental conflict
+    /// builder's witness sets) key their validity on this instead of the
+    /// node count, so handing them a different same-sized topology
+    /// invalidates them instead of silently corrupting results.
+    #[inline]
+    pub fn token(&self) -> u64 {
+        self.token
     }
 
     /// Number of nodes.

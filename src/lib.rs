@@ -41,14 +41,27 @@
 //! | [`core`] | `mlbs-core` | schedulers, E-model, time counter searches, bounds |
 //! | [`topology`] | `wsn-topology` | deployments, UDG adjacency, metrics, fixtures |
 //! | [`geom`] | `wsn-geom` | hulls, quadrants, angular analysis |
-//! | [`bitset`] | `wsn-bitset` | dense node sets |
+//! | [`bitset`] | `wsn-bitset` | dense node sets, interned state ids |
 //! | [`dutycycle`] | `wsn-dutycycle` | wake schedules, CWT |
-//! | [`interference`] | `wsn-interference` | conflict model, collision resolution |
-//! | [`coloring`] | `wsn-coloring` | greedy scheme, Eq. (1) validity, enumeration |
+//! | [`interference`] | `wsn-interference` | conflict model, incremental conflict graphs, collision resolution |
+//! | [`coloring`] | `wsn-coloring` | greedy scheme, Eq. (1) validity, enumeration, broadcast-state substrate |
 //! | [`baselines`] | `wsn-baselines` | 26-/17-approximation, CDS, flooding |
 //! | [`distributed`] | `wsn-distributed` | localized scheduling, distributed E-model (§VII) |
 //! | [`sim`] | `wsn-sim` | experiment sweeps, statistics, CSV |
 //! | [`bench`] | `wsn-bench` | figure/table regeneration harness |
+//!
+//! ## The broadcast-state substrate
+//!
+//! Every scheduler consumes a [`coloring::BroadcastState`] — reusable
+//! scratch for the informed/uninformed sets and candidate lists, plus an
+//! incremental [`interference::ConflictGraphBuilder`] that patches the
+//! conflict graph by delta instead of re-running `O(k²)` pairwise tests
+//! per state. The exact searches additionally canonicalize informed sets
+//! through a [`bitset::SetInterner`], replacing fingerprint memo keys with
+//! collision-free dense `StateId`s. Hot loops (sweep workers, the
+//! searches) hold one substrate and thread it through the `*_with` entry
+//! points (`solve_opt_with`, `run_pipeline_with`, `run_instance_with`, …);
+//! the plain entry points remain as one-shot conveniences.
 
 pub use mlbs_core as core;
 pub use wsn_baselines as baselines;
@@ -65,19 +78,81 @@ pub use wsn_topology as topology;
 /// The names most applications need, importable in one line.
 pub mod prelude {
     pub use mlbs_core::{
-        bounds, run_pipeline, solve_gopt, solve_opt, ColorSelector, EModel, EModelSelector,
+        bounds, run_pipeline, run_pipeline_with, solve_gopt, solve_gopt_with, solve_opt,
+        solve_opt_with, BroadcastState, ColorSelector, EModel, EModelSelector,
         MaxReceiversSelector, PipelineConfig, Schedule, ScheduleEntry, ScheduleError, SearchConfig,
         SearchOutcome,
     };
     pub use wsn_baselines::{
         flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered, schedule_layered,
-        LayeredMode,
+        schedule_layered_with, LayeredMode,
     };
-    pub use wsn_bitset::NodeSet;
+    pub use wsn_bitset::{NodeSet, SetInterner, StateId};
     pub use wsn_coloring::{eligible_senders, greedy_coloring, validate_coloring};
-    pub use wsn_distributed::{distributed_emodel, localized_broadcast, LocalizedOutcome};
+    pub use wsn_distributed::{
+        distributed_emodel, localized_broadcast, localized_broadcast_with, LocalizedOutcome,
+    };
     pub use wsn_dutycycle::{AlwaysAwake, ExplicitSchedule, Slot, WakeSchedule, WindowedRandom};
     pub use wsn_geom::{Point, Quadrant, Rect};
-    pub use wsn_sim::{run_instance, Algorithm, Regime, Summary, Sweep};
+    pub use wsn_sim::{run_instance, run_instance_with, Algorithm, Regime, Summary, Sweep};
     pub use wsn_topology::{deploy::SyntheticDeployment, fixtures, metrics, NodeId, Topology};
+}
+
+#[cfg(test)]
+mod facade_consistency {
+    //! The ROADMAP-suggested drift check: the crate-map table above and the
+    //! facade re-exports are the single source of truth for the public
+    //! surface, so both are grepped against the workspace member list —
+    //! adding a crate without updating the facade fails CI here.
+
+    /// Workspace member crate names, read from the manifest's
+    /// `[workspace.dependencies]` path entries.
+    fn workspace_members() -> Vec<String> {
+        let manifest = include_str!("../Cargo.toml");
+        manifest
+            .lines()
+            .filter_map(|line| {
+                let (name, rest) = line.split_once('=')?;
+                rest.contains("path = \"crates/")
+                    .then(|| name.trim().to_string())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crate_map_table_covers_every_workspace_member() {
+        let doc = include_str!("lib.rs");
+        let members = workspace_members();
+        assert!(
+            members.len() >= 11,
+            "expected the full crate list, got {members:?}"
+        );
+        let table_rows: Vec<&str> = doc
+            .lines()
+            .filter(|l| l.trim_start().starts_with("//! | ["))
+            .collect();
+        for m in &members {
+            assert!(
+                table_rows.iter().any(|row| row.contains(&format!("`{m}`"))),
+                "crate-map table in src/lib.rs is missing workspace member `{m}`"
+            );
+        }
+        assert_eq!(
+            table_rows.len(),
+            members.len(),
+            "crate-map table lists a crate that is not a workspace member"
+        );
+    }
+
+    #[test]
+    fn every_workspace_member_is_re_exported() {
+        let doc = include_str!("lib.rs");
+        for m in workspace_members() {
+            let ident = m.replace('-', "_");
+            assert!(
+                doc.contains(&format!("pub use {ident}")),
+                "facade is missing the `pub use {ident}` re-export"
+            );
+        }
+    }
 }

@@ -2,11 +2,22 @@
 //! validity, enumeration maximality, CWT arithmetic, and boundary
 //! detection — all against arbitrary deployments.
 
+use mlbs::interference::{ConflictGraph, ConflictGraphBuilder};
 use mlbs::prelude::*;
 use proptest::prelude::*;
 
 fn arb_topo() -> impl Strategy<Value = Topology> {
     (30usize..100, 0u64..500).prop_map(|(n, seed)| SyntheticDeployment::paper(n).sample(seed).0)
+}
+
+/// SplitMix64 step, the same generator the sweep seed-derivation uses —
+/// drives the random walks below deterministically from one proptest seed.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A random "mid-broadcast" informed set: everything within `h` hops of a
@@ -88,6 +99,67 @@ proptest! {
                 let v = em.value(u, q);
                 prop_assert!(v.is_finite());
                 prop_assert!((0.0..n).contains(&v), "E({u},{q:?}) = {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_conflict_graph_is_bit_identical_to_scratch(
+        topo in arb_topo(),
+        walk_seed in 0u64..10_000,
+        steps in 4usize..12,
+    ) {
+        // Random sequences of uninformed-set shrinks (with occasional
+        // grow-backs, as DFS backtracking produces) and candidate swaps:
+        // after every transition the incremental builder must agree with a
+        // from-scratch `ConflictGraph::build` row for row.
+        let n = topo.len();
+        let mut rng = walk_seed;
+        let mut builder = ConflictGraphBuilder::new();
+        let mut uninformed = NodeSet::full(n);
+        uninformed.remove(mix(&mut rng) as usize % n);
+        let mut candidates: Vec<NodeId> = (0..n)
+            .filter(|_| mix(&mut rng).is_multiple_of(4))
+            .map(|u| NodeId(u as u32))
+            .collect();
+        for _ in 0..steps {
+            match mix(&mut rng) % 4 {
+                // Shrink W̄ by a random coverage-like clump.
+                0 | 1 => {
+                    let center = mix(&mut rng) as usize % n;
+                    uninformed.remove(center);
+                    for &v in topo.neighbors(NodeId(center as u32)) {
+                        uninformed.remove(v.idx());
+                    }
+                }
+                // Backtrack: a few nodes return to W̄.
+                2 => {
+                    for _ in 0..(mix(&mut rng) % 4) {
+                        uninformed.insert(mix(&mut rng) as usize % n);
+                    }
+                }
+                // Candidate churn: drop some, add some, keep id order.
+                _ => {
+                    candidates.retain(|_| !mix(&mut rng).is_multiple_of(5));
+                    let extra: Vec<NodeId> = (0..n)
+                        .filter(|_| mix(&mut rng).is_multiple_of(8))
+                        .map(|u| NodeId(u as u32))
+                        .collect();
+                    candidates.extend(extra);
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                }
+            }
+            let incremental = builder.update(&topo, &candidates, &uninformed);
+            let scratch = ConflictGraph::build(&topo, &candidates, &uninformed);
+            prop_assert_eq!(incremental.candidates(), scratch.candidates());
+            for i in 0..scratch.len() {
+                prop_assert_eq!(
+                    incremental.row(i).words(),
+                    scratch.row(i).words(),
+                    "row {} diverged after a delta update",
+                    i
+                );
             }
         }
     }

@@ -1,0 +1,103 @@
+//! Substrate-refactor regression pins.
+//!
+//! The incremental conflict substrate (interned memo keys, delta-built
+//! conflict graphs, shared scratch) must be a pure performance change:
+//! `solve_opt` / `solve_gopt` over the seeded paper deployments must
+//! report exactly the latencies and `exact` flags the from-scratch
+//! implementation produced (values recorded from the pre-substrate tree),
+//! and the search statistics must show the promised ≥2× reduction in
+//! conflict-graph row computations.
+
+use mlbs::coloring::BroadcastState;
+use mlbs::core::{solve_gopt_with, solve_opt_with};
+use mlbs::prelude::*;
+
+/// `(nodes, deployment seed, OPT latency, OPT exact, G-OPT latency)`
+/// recorded on the pre-substrate implementation (beam OPT at the default
+/// `branch_cap`, hence `exact = false` throughout; G-OPT is exact on all
+/// of these).
+const PINNED: &[(usize, u64, u64, bool, u64)] = &[
+    (60, 4, 6, false, 7),
+    (80, 11, 7, false, 8),
+    (100, 0, 8, false, 8),
+    (100, 1, 7, false, 7),
+    (100, 2, 7, false, 7),
+    (300, 0, 6, false, 6),
+    (300, 1, 7, false, 7),
+];
+
+#[test]
+fn solve_opt_latencies_unchanged_on_seeded_paper_instances() {
+    // One substrate threaded through every instance, exactly as a sweep
+    // worker would — reuse across topologies must not leak state.
+    let mut substrate = BroadcastState::new();
+    for &(n, seed, opt_latency, opt_exact, gopt_latency) in PINNED {
+        let (topo, src) = SyntheticDeployment::paper(n).sample(seed);
+        let opt = solve_opt_with(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &SearchConfig::default(),
+            &mut substrate,
+        );
+        assert_eq!(
+            (opt.latency, opt.exact),
+            (opt_latency, opt_exact),
+            "n={n} seed={seed}: OPT result drifted from the pre-substrate pin"
+        );
+        opt.schedule.verify(&topo, &AlwaysAwake).unwrap();
+
+        let gopt = solve_gopt_with(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &SearchConfig::default(),
+            &mut substrate,
+        );
+        assert_eq!(
+            (gopt.latency, gopt.exact),
+            (gopt_latency, true),
+            "n={n} seed={seed}: G-OPT result drifted from the pre-substrate pin"
+        );
+        gopt.schedule.verify(&topo, &AlwaysAwake).unwrap();
+    }
+}
+
+#[test]
+fn substrate_halves_conflict_row_computations() {
+    // The pre-substrate search built TWO conflict graphs per branching
+    // state (one inside the greedy coloring, one for the maximal-set
+    // enumeration), i.e. `2 · (rows_built + rows_reused)` row
+    // computations in the new accounting, while the substrate computes
+    // only `rows_built` from scratch. Graph-sharing alone makes that
+    // ratio exactly 2×; to catch a regression of the *delta path* as
+    // well, require ≥2.5× (`4·reused ≥ built` — both pinned instances
+    // sit at 3× or better today).
+    let mut substrate = BroadcastState::new();
+    for &(n, seed) in &[(100usize, 0u64), (300, 1)] {
+        let (topo, src) = SyntheticDeployment::paper(n).sample(seed);
+        let out = solve_opt_with(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &SearchConfig::default(),
+            &mut substrate,
+        );
+        let built = out.stats.conflict_rows_built;
+        let reused = out.stats.conflict_rows_reused;
+        assert!(
+            built > 0 && 4 * reused >= built,
+            "n={n} seed={seed}: row-computation reduction fell below 2.5× \
+             ({built} built from scratch, only {reused} reused by delta; \
+             rebuild-per-state would have computed {})",
+            2 * (built + reused)
+        );
+        // The interner canonicalizes exactly the evaluated states under
+        // AlwaysAwake (one phase), collision-free by construction. (A
+        // state reached after the cap is interned but not counted, so the
+        // equality only holds while the cap never fires — assert that
+        // precondition rather than let it fail the pin spuriously.)
+        assert!(!out.stats.state_cap_hit);
+        assert_eq!(out.stats.interned_sets, out.stats.states);
+    }
+}

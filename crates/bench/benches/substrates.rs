@@ -116,6 +116,48 @@ fn bench_incremental_conflict(c: &mut Criterion) {
     group.finish();
 }
 
+/// Re-measures the `WITNESS_RETEST_MIN_UNIVERSE` crossover: one universe
+/// below the 1024 default and one above, each driven through a
+/// shrink-heavy retest workload with the witness cache forced on
+/// (threshold 0) and forced off (`usize::MAX`). If "witness_on" wins below
+/// 1024 or loses above it on your hardware, the default constant in
+/// `wsn-interference::builder` deserves an update.
+fn bench_witness_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("witness_threshold");
+    for universe in [700usize, 1400] {
+        let topo = Topology::unit_disk(
+            (0..universe)
+                .map(|i| wsn_geom::Point::new(i as f64 * 0.8, 0.0))
+                .collect(),
+            2.0,
+        );
+        let cands: Vec<NodeId> = (universe / 2..universe / 2 + 48)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        // A retest-heavy walk: witnesses drain out of W̄ near the
+        // candidates, so every step retests the same pairs.
+        let mut walk = Vec::new();
+        let mut unf = NodeSet::full(universe);
+        for step in 0..24usize {
+            unf.remove(universe / 2 - 4 + step);
+            walk.push(unf.clone());
+        }
+        for (label, threshold) in [("witness_on", 0usize), ("witness_off", usize::MAX)] {
+            group.bench_with_input(BenchmarkId::new(label, universe), &universe, |b, _| {
+                b.iter(|| {
+                    let mut builder = ConflictGraphBuilder::new();
+                    builder.set_witness_retest_min_universe(threshold);
+                    builder.reset(topo.len());
+                    for unf in &walk {
+                        black_box(builder.update(&topo, &cands, unf));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_emodel(c: &mut Criterion) {
     let mut group = c.benchmark_group("emodel");
     for nodes in [100usize, 300] {
@@ -154,6 +196,7 @@ criterion_group!(
     bench_topology,
     bench_coloring,
     bench_incremental_conflict,
+    bench_witness_threshold,
     bench_emodel,
     bench_dutycycle
 );

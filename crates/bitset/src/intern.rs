@@ -139,6 +139,122 @@ impl SetInterner {
     }
 }
 
+/// An arena that canonicalizes arbitrary word sequences, tagged with a
+/// caller-chosen `namespace`, to dense collision-free `u32` ids.
+///
+/// This is the [`SetInterner`] idea generalized for the phase-folding
+/// tables of the duty-cycle search: wake-pattern windows are not
+/// fixed-universe [`NodeSet`]s (their width depends on the fold horizon),
+/// and per-node windows must not unify with per-level joint signatures, so
+/// every sequence carries a namespace that is part of its identity. Equal
+/// ids imply equal `(namespace, words)` pairs *by construction* — the hash
+/// only picks the bucket, full comparison settles it.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_bitset::WordSeqInterner;
+///
+/// let mut it = WordSeqInterner::new();
+/// let a = it.intern(1, &[0xfeed, 0xbeef]);
+/// assert_eq!(it.intern(1, &[0xfeed, 0xbeef]), a, "idempotent");
+/// assert_ne!(it.intern(2, &[0xfeed, 0xbeef]), a, "namespaces separate");
+/// assert_eq!(it.get(1, &[0xfeed, 0xbeef]), Some(a));
+/// assert_eq!(it.get(1, &[0xfeed]), None, "lookups never insert");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WordSeqInterner {
+    /// Flat storage: sequence `i` occupies `arena[spans[i].0 ..][..spans[i].1]`.
+    arena: Vec<u64>,
+    /// `(start, len)` of each interned sequence.
+    spans: Vec<(u32, u32)>,
+    /// Namespace tag of each interned sequence.
+    namespaces: Vec<u64>,
+    /// Hash → candidate ids; ties broken by full comparison.
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl WordSeqInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct `(namespace, words)` sequences interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The word storage of an interned sequence.
+    #[inline]
+    pub fn words(&self, id: u32) -> &[u64] {
+        let (start, len) = self.spans[id as usize];
+        &self.arena[start as usize..start as usize + len as usize]
+    }
+
+    /// FNV-1a-style fold over namespace + words with a SplitMix64
+    /// finalizer — bucket selection only, never identity.
+    fn hash(namespace: u64, words: &[u64]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ namespace.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for &w in words {
+            h ^= w;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= words.len() as u64;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^ (h >> 31)
+    }
+
+    #[inline]
+    fn matches(&self, id: u32, namespace: u64, words: &[u64]) -> bool {
+        self.namespaces[id as usize] == namespace && self.words(id) == words
+    }
+
+    /// The id of `(namespace, words)` if it was interned before. Never
+    /// inserts — memo lookups probe with this so that misses cost nothing.
+    pub fn get(&self, namespace: u64, words: &[u64]) -> Option<u32> {
+        let bucket = self.buckets.get(&Self::hash(namespace, words))?;
+        bucket
+            .iter()
+            .copied()
+            .find(|&id| self.matches(id, namespace, words))
+    }
+
+    /// Canonicalizes `(namespace, words)`, returning its dense id.
+    pub fn intern(&mut self, namespace: u64, words: &[u64]) -> u32 {
+        let h = Self::hash(namespace, words);
+        if let Some(bucket) = self.buckets.get(&h) {
+            for &id in bucket {
+                if self.matches(id, namespace, words) {
+                    return id;
+                }
+            }
+        }
+        let id = u32::try_from(self.spans.len()).expect("more than u32::MAX sequences");
+        let start = u32::try_from(self.arena.len()).expect("interner arena overflow");
+        self.arena.extend_from_slice(words);
+        self.spans.push((start, words.len() as u32));
+        self.namespaces.push(namespace);
+        self.buckets.entry(h).or_default().push(id);
+        id
+    }
+
+    /// Drops every sequence, keeping allocations for reuse.
+    pub fn reset(&mut self) {
+        self.arena.clear();
+        self.spans.clear();
+        self.namespaces.clear();
+        self.buckets.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +352,44 @@ mod tests {
         let id = it.intern(&e);
         assert_eq!(it.intern(&e), id);
         assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn word_seq_ids_are_dense_and_exact() {
+        let mut it = WordSeqInterner::new();
+        let a = it.intern(7, &[1, 2, 3]);
+        let b = it.intern(7, &[1, 2, 4]);
+        let c = it.intern(8, &[1, 2, 3]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(c, 2);
+        assert_eq!(it.intern(7, &[1, 2, 3]), a);
+        assert_eq!(it.words(b), &[1, 2, 4]);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.get(7, &[1, 2, 3]), Some(a));
+        assert_eq!(it.get(9, &[1, 2, 3]), None);
+        // Prefixes and length variants stay distinct.
+        assert_eq!(it.get(7, &[1, 2]), None);
+        let d = it.intern(7, &[1, 2]);
+        assert_ne!(d, a);
+    }
+
+    #[test]
+    fn word_seq_empty_sequences_per_namespace() {
+        let mut it = WordSeqInterner::new();
+        let a = it.intern(0, &[]);
+        let b = it.intern(1, &[]);
+        assert_ne!(a, b);
+        assert_eq!(it.intern(0, &[]), a);
+        assert_eq!(it.words(a), &[] as &[u64]);
+    }
+
+    #[test]
+    fn word_seq_reset_reuses() {
+        let mut it = WordSeqInterner::new();
+        it.intern(0, &[42]);
+        it.reset();
+        assert!(it.is_empty());
+        assert_eq!(it.intern(0, &[43]), 0);
     }
 }

@@ -21,7 +21,7 @@ mod intern;
 mod iter;
 mod ops;
 
-pub use intern::{SetInterner, StateId};
+pub use intern::{SetInterner, StateId, WordSeqInterner};
 pub use iter::OnesIter;
 
 /// Number of bits per storage word.

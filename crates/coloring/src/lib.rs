@@ -27,7 +27,10 @@ mod greedy;
 mod substrate;
 mod validity;
 
-pub use enumerate::{extend_to_maximal, maximal_conflict_free_sets, EnumerationOutcome};
+pub use enumerate::{
+    extend_to_maximal, maximal_conflict_free_sets, order_best_first, truncate_keeping,
+    EnumerationOutcome,
+};
 pub use greedy::{greedy_classes_on_graph, greedy_coloring, greedy_coloring_of_candidates};
 pub use substrate::BroadcastState;
 pub use validity::{validate_coloring, ColoringViolation};

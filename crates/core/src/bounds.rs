@@ -52,17 +52,28 @@ pub fn max_neighbor_wait<S: WakeSchedule>(topo: &Topology, wake: &S) -> Slot {
 /// most one hop, so at least `h` further slots are needed to reach a node
 /// `h` hops away. Used by the branch-and-bound searches.
 pub fn remaining_hops_lower_bound(topo: &Topology, informed: &NodeSet) -> Slot {
+    remaining_hops_profile(topo, informed).0
+}
+
+/// As [`remaining_hops_lower_bound`], additionally returning the per-node
+/// BFS hop distances from `W` that the bound was computed from. The search
+/// reuses the profile to score branch orderings (deep uninformed nodes are
+/// worth informing first) without running a second BFS per state.
+pub fn remaining_hops_profile(topo: &Topology, informed: &NodeSet) -> (Slot, Vec<u32>) {
     let dist = metrics::bfs_hops_from_set(topo, informed);
     let mut far = 0;
-    for u in informed.complement().iter() {
+    for (u, &d) in dist.iter().enumerate() {
+        if informed.contains(u) {
+            continue;
+        }
         debug_assert_ne!(
-            dist[u],
+            d,
             metrics::UNREACHABLE,
             "lower bound undefined on disconnected instances"
         );
-        far = far.max(dist[u]);
+        far = far.max(d);
     }
-    far as Slot
+    (far as Slot, dist)
 }
 
 /// Eccentricity of the source, the `d` every bound is phrased in.

@@ -67,8 +67,8 @@ pub use pipeline::{
 };
 pub use schedule::{Schedule, ScheduleEntry, ScheduleError};
 pub use search::{
-    solve_gopt, solve_gopt_with, solve_opt, solve_opt_with, SearchConfig, SearchOutcome,
-    SearchStats,
+    solve_gopt, solve_gopt_with, solve_opt, solve_opt_with, BranchOrder, SearchConfig,
+    SearchOutcome, SearchStats,
 };
 pub use trace::{SearchTrace, TraceState};
 

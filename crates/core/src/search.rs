@@ -24,16 +24,94 @@
 //! justifies both never-defer and maximal-set branching; the property tests
 //! in `tests/` check optimality against exhaustive search on small
 //! instances.
+//!
+//! # DESIGN: phase folding, dominance pruning, and adaptive caps
+//!
+//! Keying the memo on the raw phase is what makes the duty-cycled regime
+//! hard: `WindowedRandom` has `P = r × windows`, so at `r = 50` the phase
+//! axis alone multiplies the state space by thousands, and the same
+//! informed set reached along two timing paths memoizes twice. Three
+//! mechanisms attack that, all default-compatible with the synchronous
+//! pins:
+//!
+//! * **Phase-folded memo keys** ([`SearchConfig::phase_fold`]). The
+//!   remaining delay from `(W, t)` depends on the wake schedule only
+//!   through `can_send(u, t + h)` for nodes `u` in the *relevant set*
+//!   `R(W) = {u : N(u) ∩ W̄ ≠ ∅}` — every present or future candidate
+//!   sender has an uninformed neighbor now, because `W` only grows down a
+//!   subtree (monotonicity) so `W̄` only shrinks and `R` with it. And a
+//!   completion in `L` slots only reads offsets `h < L`. So two phases
+//!   whose wake patterns *restricted to `R(W)`* agree over a horizon `H`
+//!   share every schedule of length ≤ `H` (periodicity makes the window
+//!   well-defined), and may share one memo entry for any exact remainder
+//!   `rem ≤ H` or lower bound `lb ≤ H + 1`. The searcher builds a geometric
+//!   horizon ladder (8, 32, 128, … capped below the period and the seeded
+//!   root budget), renders the schedule once into a
+//!   [`wsn_dutycycle::WakePatternTable`], and interns per-node windows and
+//!   per-state joint signatures into collision-free dense ids
+//!   ([`wsn_bitset::WordSeqInterner`]); the memo key becomes
+//!   `(StateId, pattern-class)`. An exact result is stored at the smallest
+//!   horizon certifying it, so short remainders — the bulk of the state
+//!   space — fold across the thousands of phases that look alike near the
+//!   end of a broadcast. Lookups probe every ladder level plus the raw
+//!   phase (the store of last resort), and never insert signatures, so
+//!   misses cost nothing. Reconstruction re-derives any suffix whose
+//!   memoized choices came from a folded phase by re-running the (warm)
+//!   search from that state.
+//! * **Superset dominance** ([`SearchConfig::dominance`], OPT only). For
+//!   the all-colors value function, `W ⊆ W'` implies `rem(W) ≥ rem(W')`
+//!   (the larger set can simulate any continuation of the smaller), so a
+//!   memoized exact result for a superset is a valid lower bound: the
+//!   searcher keeps a small per-phase store of exact results and scans it
+//!   for supersets before branching, and inside the branch loop prunes any
+//!   color whose coverage is a subset of an already-evaluated sibling's.
+//!   Both bounds also feed the branch loop's floor, stopping it as soon as
+//!   a branch meets the strongest known lower bound. G-OPT is excluded:
+//!   its greedy-restricted value function carries no such monotonicity
+//!   guarantee.
+//! * **Best-first branch ordering + overscan**
+//!   ([`SearchConfig::branch_order`], [`SearchConfig::overscan`]). The
+//!   enumeration explores up to `overscan × branch_cap` maximal sets; if it
+//!   completes, the search stays exact at an effectively larger cap, and if
+//!   it truncates, the frontier-weighted scorer (newly informed nodes
+//!   weighted by their hop depth) decides which `branch_cap` branches the
+//!   beam keeps — the worst branches are truncated instead of whichever
+//!   the enumeration found last. The greedy-class extensions always
+//!   survive truncation, preserving OPT ≤ G-OPT.
+//!
+//! The regime-constant caps that used to live in `wsn-bench::search_for`
+//! are replaced by `wsn_bench::AdaptiveBudget`, which derives `max_states`
+//! from a wall-clock target and a states/ms throughput (measured or the
+//! baked-in default) and scales `branch_cap`/`overscan` with instance
+//! size, so small duty instances complete exactly where the old constant
+//! caps forced a beam.
 
-use crate::bounds::remaining_hops_lower_bound;
+use crate::bounds::remaining_hops_profile;
 use crate::pipeline::{run_pipeline_with, MaxReceiversSelector, PipelineConfig};
 use crate::schedule::{Schedule, ScheduleEntry};
 use crate::trace::{SearchTrace, TraceOption, TraceState};
 use std::collections::HashMap;
-use wsn_bitset::{NodeSet, SetInterner, StateId};
-use wsn_coloring::{extend_to_maximal, maximal_conflict_free_sets, BroadcastState};
-use wsn_dutycycle::{Slot, WakeSchedule};
+use wsn_bitset::{NodeSet, SetInterner, StateId, WordSeqInterner};
+use wsn_coloring::{
+    extend_to_maximal, maximal_conflict_free_sets, order_best_first, truncate_keeping,
+    BroadcastState,
+};
+use wsn_dutycycle::{Slot, WakePatternTable, WakeSchedule};
 use wsn_topology::{NodeId, Topology};
+
+/// How the OPT search orders the enumerated color sets before branching.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BranchOrder {
+    /// Legacy ordering: descending sum of per-sender fresh-neighbor counts
+    /// (double-counts overlapping coverage, but matches the pre-fold
+    /// searches bit for bit).
+    #[default]
+    CoverageSum,
+    /// Best-first: descending exact newly-informed count, each new node
+    /// weighted by `1 + hop distance from W` so branches that push the
+    /// frontier where the lower bound lives sort first.
+    FrontierWeighted,
+}
 
 /// Search parameters.
 #[derive(Clone, Debug)]
@@ -41,8 +119,8 @@ pub struct SearchConfig {
     /// Slot from which the source may first transmit (`t_s` is its first
     /// sending slot at or after this).
     pub start_from: Slot,
-    /// OPT only: maximum number of maximal conflict-free sets enumerated
-    /// per state before the branch list is truncated (beam mode).
+    /// OPT only: maximum number of branches kept per state (beam mode once
+    /// enumeration truncates).
     pub branch_cap: usize,
     /// Hard cap on distinct states evaluated; beyond it new states are
     /// abandoned (the search still returns a valid schedule, flagged
@@ -50,10 +128,27 @@ pub struct SearchConfig {
     pub max_states: usize,
     /// Record a [`SearchTrace`] (used by the table binaries).
     pub collect_trace: bool,
-    /// Disable upper-bound seeding and budget tightening so that every
-    /// branch is evaluated exactly — required for complete paper-style
-    /// traces; only sensible on small fixtures.
+    /// Disable upper-bound seeding, budget tightening, phase folding and
+    /// dominance pruning so that every branch is evaluated exactly —
+    /// required for complete paper-style traces; only sensible on small
+    /// fixtures.
     pub exhaustive: bool,
+    /// Fold memo keys across phases whose wake patterns agree on the
+    /// uninformed neighborhood (see the module-level DESIGN note). No-op
+    /// for period-1 schedules, so the synchronous searches are unaffected.
+    pub phase_fold: bool,
+    /// Prune via superset dominance (OPT only; see the DESIGN note).
+    /// Off by default: on truncated beam searches it can only shrink the
+    /// explored tree, which perturbs the historically pinned `exact`
+    /// flags and conflict-row accounting; the duty-cycle configurations
+    /// of `wsn_bench::AdaptiveBudget` switch it on.
+    pub dominance: bool,
+    /// Branch ordering rule for the OPT enumeration.
+    pub branch_order: BranchOrder,
+    /// OPT only: enumeration explores up to `overscan × branch_cap` sets
+    /// before the beam truncates back to `branch_cap`; `1` reproduces the
+    /// legacy truncate-at-cap behavior.
+    pub overscan: u32,
 }
 
 impl Default for SearchConfig {
@@ -64,6 +159,10 @@ impl Default for SearchConfig {
             max_states: 2_000_000,
             collect_trace: false,
             exhaustive: false,
+            phase_fold: true,
+            dominance: false,
+            branch_order: BranchOrder::CoverageSum,
+            overscan: 1,
         }
     }
 }
@@ -71,13 +170,14 @@ impl Default for SearchConfig {
 /// Search statistics.
 #[derive(Clone, Debug, Default)]
 pub struct SearchStats {
-    /// Distinct `(W, phase)` states evaluated.
+    /// `(W, phase)` state evaluations (re-evaluations after a lower-bound
+    /// abandonment included).
     pub states: usize,
     /// Memo lookups that short-circuited a subtree.
     pub memo_hits: usize,
     /// Branches pruned by bound reasoning.
     pub pruned: usize,
-    /// States whose OPT enumeration hit the branch cap.
+    /// States whose OPT enumeration hit the exploration cap.
     pub truncated_enumerations: usize,
     /// `true` when `max_states` stopped the search somewhere.
     pub state_cap_hit: bool,
@@ -88,8 +188,27 @@ pub struct SearchStats {
     /// Conflict-graph rows carried across states by the incremental
     /// builder. `built + reused` is what a rebuild-per-state strategy
     /// would have computed, so `reused ≥ built` means the substrate cut
-    /// row computations at least in half.
+    /// row computations at least in half. That inequality holds for the
+    /// *synchronous* searches (sibling states share candidate lists) and
+    /// is pinned in `tests/substrate_regression.rs`; duty-cycle searches
+    /// churn the candidate list every slot (the awake set changes
+    /// wholesale), so there `reused < built` is the measured norm — also
+    /// pinned, so an improvement to duty-regime row reuse shows up as a
+    /// test update, not silently.
     pub conflict_rows_reused: usize,
+    /// Entries in the memo at the end of the search — the distinct
+    /// memoized states after phase folding (equals the distinct
+    /// `(W, phase)` keys when folding is off or trivial).
+    pub memo_entries: usize,
+    /// Distinct joint wake-pattern classes interned by the phase folder
+    /// (0 when folding is off or the schedule has period 1).
+    pub phase_classes: usize,
+    /// Branches or states pruned by superset dominance (memo-store scans
+    /// plus sibling coverage subsumption).
+    pub dominance_prunes: usize,
+    /// States whose branch list the frontier-weighted scorer actually
+    /// permuted.
+    pub branch_reorders: usize,
 }
 
 /// Result of a search.
@@ -141,9 +260,10 @@ pub fn solve_gopt_with<S: WakeSchedule>(
 
 /// OPT: minimum-latency schedule over every admissible color (Eq. 5/6).
 ///
-/// Exact when the per-state enumeration never exceeds
-/// [`SearchConfig::branch_cap`]; otherwise a beam search whose result is
-/// still ≤ the G-OPT latency (greedy classes are always in the branch set).
+/// Exact when the per-state enumeration never exceeds the exploration cap
+/// ([`SearchConfig::branch_cap`] × [`SearchConfig::overscan`]); otherwise a
+/// beam search whose result is still ≤ the G-OPT latency (greedy classes
+/// are always in the branch set).
 pub fn solve_opt<S: WakeSchedule>(
     topo: &Topology,
     source: NodeId,
@@ -175,19 +295,163 @@ enum MemoEntry {
 /// headroom against overflow in `budget + t` arithmetic.
 const INF_BUDGET: Slot = Slot::MAX / 4;
 
+/// High bit tagging folded memo keys, keeping them disjoint from raw
+/// phases (periods are asserted far below this).
+const FOLD_KEY: u64 = 1 << 63;
+
+/// Ladder depth cap — a backstop; the period/budget clamps bind first.
+const MAX_FOLD_LEVELS: usize = 8;
+
+/// Exact results kept per phase for superset-dominance scans.
+const DOMINANCE_BUCKET_CAP: usize = 16;
+
+/// `true` when `sup` ⊇ `sub`, word-parallel.
+#[inline]
+fn is_superset(sup: &[u64], sub: &[u64]) -> bool {
+    sub.iter().zip(sup).all(|(&s, &p)| s & !p == 0)
+}
+
+/// The phase-folding tables: a rendered wake schedule, the horizon ladder,
+/// and the interners that canonicalize restricted wake-pattern windows to
+/// dense collision-free class ids (see the module-level DESIGN note).
+struct PhaseFolder {
+    table: WakePatternTable,
+    /// Ascending fold horizons, all `< period`; the last is the first
+    /// ladder rung at or above the root budget (so every non-exhaustive
+    /// remainder has a certifying level) unless the period clamps earlier.
+    levels: Vec<u32>,
+    /// Per-node wake windows, namespaced by `(level, node)`.
+    windows: WordSeqInterner,
+    /// Per-state joint signatures over the relevant set, namespaced by
+    /// level.
+    joints: WordSeqInterner,
+    /// Scratch: the relevant set `R(W)` of the state being keyed.
+    relevant: NodeSet,
+    /// Scratch: per-node window ids of the current signature.
+    ids: Vec<u32>,
+    /// Scratch: the packed joint signature.
+    packed: Vec<u64>,
+    /// Scratch: window extraction buffer.
+    wbuf: Vec<u64>,
+}
+
+impl PhaseFolder {
+    /// Builds the folder, or `None` when the schedule's period is too
+    /// short for any fold horizon to exist (e.g. the synchronous system).
+    fn new<S: WakeSchedule>(wake: &S, n: usize, root_budget: Slot) -> Option<Self> {
+        let period = wake.period();
+        let mut levels = Vec::new();
+        let mut h: u64 = 8;
+        while h < period && levels.len() < MAX_FOLD_LEVELS {
+            levels.push(h as u32);
+            if h >= root_budget {
+                break;
+            }
+            h *= 4;
+        }
+        if levels.is_empty() {
+            return None;
+        }
+        Some(PhaseFolder {
+            table: WakePatternTable::build(wake, n),
+            levels,
+            windows: WordSeqInterner::new(),
+            joints: WordSeqInterner::new(),
+            relevant: NodeSet::new(n),
+            ids: Vec::new(),
+            packed: Vec::new(),
+            wbuf: Vec::new(),
+        })
+    }
+
+    /// Loads the relevant set `R(W)` — every node with an uninformed
+    /// neighbor — for subsequent [`PhaseFolder::key_at`] calls.
+    fn prepare(&mut self, topo: &Topology, informed: &NodeSet) {
+        self.relevant.clear();
+        for u in 0..topo.len() {
+            if !topo.neighbor_set(NodeId(u as u32)).is_subset(informed) {
+                self.relevant.insert(u);
+            }
+        }
+    }
+
+    /// The memo key of the prepared state at fold level `li` and `phase`.
+    /// With `insert` false (lookups) the key exists only if the exact
+    /// signature was interned by an earlier store; misses return `None`
+    /// without touching the arenas.
+    fn key_at(&mut self, li: usize, phase: Slot, insert: bool) -> Option<u64> {
+        let PhaseFolder {
+            table,
+            levels,
+            windows,
+            joints,
+            relevant,
+            ids,
+            packed,
+            wbuf,
+        } = self;
+        let horizon = levels[li];
+        ids.clear();
+        for u in relevant.iter() {
+            wbuf.clear();
+            table.window(u, phase, horizon, wbuf);
+            let ns = ((li as u64) << 32) | u as u64;
+            let id = if insert {
+                windows.intern(ns, wbuf)
+            } else {
+                windows.get(ns, wbuf)?
+            };
+            ids.push(id);
+        }
+        packed.clear();
+        packed.push(ids.len() as u64);
+        for pair in ids.chunks(2) {
+            let hi = pair.get(1).copied().unwrap_or(u32::MAX) as u64;
+            packed.push(((pair[0] as u64) << 32) | hi);
+        }
+        let joint = if insert {
+            joints.intern(li as u64, packed)
+        } else {
+            joints.get(li as u64, packed)?
+        };
+        Some(FOLD_KEY | ((li as u64) << 32) | joint as u64)
+    }
+
+    /// Smallest fold level whose horizon certifies an exact remainder.
+    fn level_for_exact(&self, rem: Slot) -> Option<usize> {
+        self.levels.iter().position(|&h| h as u64 >= rem)
+    }
+
+    /// Smallest fold level whose horizon certifies a lower bound (`lb`
+    /// rules out schedules of length `< lb`, which read `lb − 1` offsets).
+    fn level_for_bound(&self, lb: Slot) -> Option<usize> {
+        self.levels.iter().position(|&h| h as u64 + 1 >= lb)
+    }
+}
+
 struct Searcher<'a, S: WakeSchedule> {
     topo: &'a Topology,
     wake: &'a S,
     config: &'a SearchConfig,
     rule: BranchRule,
-    /// Memo keyed by `(interned W, t mod period)` — collision-free by
-    /// construction, unlike the fingerprint keys this replaced.
-    memo: HashMap<(StateId, Slot), MemoEntry>,
+    /// Memo keyed by `(interned W, phase key)` — the phase key is either
+    /// the raw `t mod period` or a folded `(level, pattern-class)` id;
+    /// both are collision-free by construction.
+    memo: HashMap<(StateId, u64), MemoEntry>,
     /// Canonicalizes informed sets to the dense ids the memo keys on.
     interner: SetInterner,
+    /// Phase-folding tables (`None` = raw phase keys only).
+    folder: Option<PhaseFolder>,
+    /// Exact results bucketed by raw phase, scanned for supersets of a
+    /// new state (OPT dominance).
+    dominance: HashMap<Slot, Vec<(StateId, Slot)>>,
+    /// `true` when dominance pruning is active for this run.
+    use_dominance: bool,
     /// Shared substrate: scratch sets, candidate buffers, and the
     /// incrementally-maintained conflict graph.
     state: &'a mut BroadcastState,
+    /// Scratch for branch coverage scoring.
+    score_scratch: NodeSet,
     stats: SearchStats,
     trace: SearchTrace,
 }
@@ -207,7 +471,13 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             rule,
             memo: HashMap::new(),
             interner: SetInterner::new(topo.len()),
+            folder: None,
+            dominance: HashMap::new(),
+            use_dominance: config.dominance
+                && !config.exhaustive
+                && rule == BranchRule::MaximalSets,
             state,
+            score_scratch: NodeSet::new(topo.len()),
             stats: SearchStats::default(),
             trace: SearchTrace::default(),
         }
@@ -216,6 +486,10 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
     fn run(mut self, source: NodeId) -> SearchOutcome {
         assert!(source.idx() < self.topo.len(), "source out of range");
         let n = self.topo.len();
+        assert!(
+            self.wake.period() < FOLD_KEY,
+            "wake period too large for memo key encoding"
+        );
         let t_s = self.wake.next_send(source.idx(), self.config.start_from);
 
         let mut w0 = NodeSet::new(n);
@@ -256,14 +530,21 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         } else {
             seed.latency()
         };
+        if self.config.phase_fold && !self.config.exhaustive {
+            self.folder = PhaseFolder::new(self.wake, n, budget);
+        }
         let conflict_base = *self.state.conflict_stats();
 
         let (schedule, fell_back) = match self.dfs(&w0, t_s, budget) {
-            Some(rem) => {
-                let schedule = self.reconstruct(source, t_s, &w0);
-                debug_assert_eq!(schedule.latency(), rem);
-                (schedule, false)
-            }
+            Some(rem) => match self.reconstruct(source, t_s, &w0, rem) {
+                Some(schedule) => {
+                    debug_assert!(schedule.latency() <= rem);
+                    (schedule, false)
+                }
+                // The state cap fired while re-deriving a folded suffix;
+                // the seed is still a valid schedule.
+                None => (seed, true),
+            },
             // The search found nothing within the seeded budget: either the
             // state cap aborted it, or (beam OPT only) enumeration caps cut
             // every path that could match the greedy seed. The seed itself
@@ -277,6 +558,8 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         self.stats.conflict_rows_built = conflict.rows_built;
         self.stats.conflict_rows_reused = conflict.rows_reused;
         self.stats.interned_sets = self.interner.len();
+        self.stats.memo_entries = self.memo.len();
+        self.stats.phase_classes = self.folder.as_ref().map_or(0, |f| f.joints.len());
         SearchOutcome {
             latency: schedule.latency(),
             schedule,
@@ -290,13 +573,18 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
     /// conflict-free sender set among the awake candidates. The substrate
     /// must be loaded with `(informed, t)` by the caller; one incremental
     /// conflict-graph update serves both the greedy coloring and the
-    /// maximal-set enumeration.
-    fn branches(&mut self, informed: &NodeSet) -> Vec<Vec<NodeId>> {
+    /// maximal-set enumeration. `dist` is the hop profile from `W` (for
+    /// frontier-weighted scoring).
+    fn branches(&mut self, informed: &NodeSet, dist: &[u32]) -> Vec<Vec<NodeId>> {
         match self.rule {
             BranchRule::GreedyClasses => self.state.greedy_classes(self.topo),
             BranchRule::MaximalSets => {
+                let explore_cap = self
+                    .config
+                    .branch_cap
+                    .saturating_mul(self.config.overscan.max(1) as usize);
                 let (classes, cg) = self.state.classes_and_graph(self.topo);
-                let outcome = maximal_conflict_free_sets(cg, self.config.branch_cap);
+                let outcome = maximal_conflict_free_sets(cg, explore_cap);
                 if outcome.truncated {
                     self.stats.truncated_enumerations += 1;
                 }
@@ -311,22 +599,81 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                     .collect();
                 // Guarantee OPT ⊆-dominates G-OPT: extend each greedy class
                 // to a maximal set and include it.
-                for class in &classes {
-                    sets.push(extend_to_maximal(cg, class));
-                }
+                let mut extensions: Vec<Vec<NodeId>> = classes
+                    .iter()
+                    .map(|class| extend_to_maximal(cg, class))
+                    .collect();
+                sets.extend(extensions.iter().cloned());
                 sets.sort();
                 sets.dedup();
-                // Most new coverage first → tight budgets early.
-                sets.sort_by_key(|set| {
-                    std::cmp::Reverse(
-                        set.iter()
-                            .map(|&u| self.topo.neighbor_set(u).difference_len(informed))
-                            .sum::<usize>(),
-                    )
-                });
+                match self.config.branch_order {
+                    // Most new coverage first → tight budgets early.
+                    BranchOrder::CoverageSum => {
+                        sets.sort_by_key(|set| {
+                            std::cmp::Reverse(
+                                set.iter()
+                                    .map(|&u| self.topo.neighbor_set(u).difference_len(informed))
+                                    .sum::<usize>(),
+                            )
+                        });
+                    }
+                    BranchOrder::FrontierWeighted => {
+                        let scratch = &mut self.score_scratch;
+                        let topo = self.topo;
+                        let mut scored: Vec<(u64, Vec<NodeId>)> = sets
+                            .drain(..)
+                            .map(|set| {
+                                scratch.clear();
+                                for &u in &set {
+                                    scratch.union_with(topo.neighbor_set(u));
+                                }
+                                scratch.difference_with(informed);
+                                let score: u64 = scratch.iter().map(|v| 1 + dist[v] as u64).sum();
+                                (score, set)
+                            })
+                            .collect();
+                        if order_best_first(&mut scored, |&(score, _)| score) {
+                            self.stats.branch_reorders += 1;
+                        }
+                        sets = scored.into_iter().map(|(_, set)| set).collect();
+                    }
+                }
+                // Beam truncation (either ordering): only once overscan
+                // actually widened the exploration — with `overscan = 1`
+                // the enumeration cap alone bounds the list, matching the
+                // pre-fold searches bit for bit. The greedy-class
+                // extensions always survive (OPT ≤ G-OPT).
+                if outcome.truncated
+                    && self.config.overscan > 1
+                    && sets.len() > self.config.branch_cap
+                {
+                    extensions.sort();
+                    extensions.dedup();
+                    truncate_keeping(&mut sets, self.config.branch_cap, |set| {
+                        extensions.binary_search(set).is_ok()
+                    });
+                }
                 sets
             }
         }
+    }
+
+    /// Gathers every phase key of the state — the raw phase plus one per
+    /// fold level whose pattern class already exists (lookup mode) or the
+    /// raw phase only (folding off). Returns the key count.
+    fn lookup_keys(&mut self, informed: &NodeSet, phase: Slot, keys: &mut [u64]) -> usize {
+        keys[0] = phase;
+        let mut n = 1;
+        if let Some(f) = self.folder.as_mut() {
+            f.prepare(self.topo, informed);
+            for li in 0..f.levels.len() {
+                if let Some(k) = f.key_at(li, phase, false) {
+                    keys[n] = k;
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 
     /// Returns the minimum remaining delay (slots from `t` through the last
@@ -335,19 +682,30 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
     fn dfs(&mut self, informed: &NodeSet, t: Slot, budget: Slot) -> Option<Slot> {
         debug_assert!(!informed.is_full());
         let phase = t % self.wake.period();
-        let key = (self.interner.intern(informed), phase);
+        let sid = self.interner.intern(informed);
 
-        match self.memo.get(&key) {
-            Some(MemoEntry::Exact { rem, .. }) => {
-                self.stats.memo_hits += 1;
-                return (*rem <= budget).then_some(*rem);
+        let mut keys = [0u64; MAX_FOLD_LEVELS + 1];
+        let nkeys = self.lookup_keys(informed, phase, &mut keys);
+        let mut known_lb: Slot = 0;
+        let mut known_exact: Option<Slot> = None;
+        for &key in &keys[..nkeys] {
+            match self.memo.get(&(sid, key)) {
+                Some(MemoEntry::Exact { rem, .. }) => {
+                    known_exact = Some(*rem);
+                    break;
+                }
+                Some(MemoEntry::LowerBound(lb)) => known_lb = known_lb.max(*lb),
+                None => {}
             }
-            Some(MemoEntry::LowerBound(lb)) if *lb > budget => {
-                self.stats.memo_hits += 1;
-                self.stats.pruned += 1;
-                return None;
-            }
-            _ => {}
+        }
+        if let Some(rem) = known_exact {
+            self.stats.memo_hits += 1;
+            return (rem <= budget).then_some(rem);
+        }
+        if known_lb > budget {
+            self.stats.memo_hits += 1;
+            self.stats.pruned += 1;
+            return None;
         }
 
         if self.stats.states >= self.config.max_states {
@@ -356,12 +714,36 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         }
         self.stats.states += 1;
 
-        // Admissible lower bound: farthest uninformed node in hops.
-        let lb = remaining_hops_lower_bound(self.topo, informed);
-        if lb > budget {
+        // Admissible lower bound: farthest uninformed node in hops. The
+        // hop profile doubles as the branch-scoring weight below.
+        let (hop_lb, dist) = remaining_hops_profile(self.topo, informed);
+        let mut lb = hop_lb.max(known_lb);
+        if hop_lb > budget {
             self.stats.pruned += 1;
-            self.bump_lower_bound(key, lb);
+            self.record_lower_bound(sid, phase, informed, hop_lb);
             return None;
+        }
+
+        // Superset dominance: a memoized exact result for W' ⊇ W at this
+        // phase lower-bounds our remainder by monotonicity.
+        if self.use_dominance {
+            let interner = &self.interner;
+            if let Some(bucket) = self.dominance.get(&phase) {
+                for &(dsid, drem) in bucket {
+                    if drem > lb
+                        && dsid != sid
+                        && is_superset(interner.words(dsid), informed.words())
+                    {
+                        lb = drem;
+                    }
+                }
+            }
+            if lb > budget {
+                self.stats.pruned += 1;
+                self.stats.dominance_prunes += 1;
+                self.record_lower_bound(sid, phase, informed, lb);
+                return None;
+            }
         }
 
         self.state.load_awake(self.topo, informed, self.wake, t);
@@ -391,30 +773,24 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             }
             if wait + 1 > budget {
                 self.stats.pruned += 1;
-                self.bump_lower_bound(key, wait + 1);
+                self.record_lower_bound(sid, phase, informed, wait + 1);
                 return None;
             }
             let sub = self.dfs(informed, t_next, budget - wait);
             return match sub {
                 Some(r) => {
                     // Memoize through the wait so reconstruction can replay.
-                    self.memo.insert(
-                        key,
-                        MemoEntry::Exact {
-                            rem: wait + r,
-                            choice: Box::default(),
-                        },
-                    );
+                    self.record_exact(sid, phase, informed, wait + r, Box::default());
                     Some(wait + r)
                 }
                 None => {
-                    self.bump_lower_bound(key, wait + 1);
+                    self.record_lower_bound(sid, phase, informed, wait + 1);
                     None
                 }
             };
         }
 
-        let branches = self.branches(informed);
+        let branches = self.branches(informed, &dist);
         debug_assert!(!branches.is_empty());
 
         let trace_idx = if self.config.collect_trace {
@@ -436,12 +812,24 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             None
         };
 
+        // No branch can beat the strongest known lower bound; stop the
+        // loop as soon as one meets it.
+        let floor = lb.max(1);
         let mut best: Option<(Slot, Vec<NodeId>, usize)> = None;
         let mut local_budget = budget;
+        let mut evaluated: Vec<NodeSet> = Vec::new();
         for (bi, senders) in branches.iter().enumerate() {
             let mut next = informed.clone();
             for &u in senders {
                 next.union_with(self.topo.neighbor_set(u));
+            }
+            if self.use_dominance && evaluated.iter().any(|prev| next.is_subset(prev)) {
+                // Sibling dominance: an already-evaluated branch covers at
+                // least this much, and every evaluated sibling is over the
+                // tightened budget, so by monotonicity this one is too.
+                self.stats.pruned += 1;
+                self.stats.dominance_prunes += 1;
+                continue;
             }
             let rem = if next.is_full() {
                 Some(1)
@@ -458,13 +846,20 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                 }
                 let better = best.as_ref().is_none_or(|(b, _, _)| r < *b);
                 if better {
+                    let done = r == floor;
                     best = Some((r, senders.clone(), bi));
                     // Only strictly better continuations are interesting,
                     // unless exhaustive mode wants every exact value.
                     if !self.config.exhaustive {
                         local_budget = r - 1;
+                        if done {
+                            break;
+                        }
                     }
                 }
+            }
+            if self.use_dominance {
+                evaluated.push(next);
             }
         }
 
@@ -473,25 +868,46 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                 if let Some(ti) = trace_idx {
                     self.trace.states[ti].chosen = Some(bi);
                 }
-                self.memo.insert(
-                    key,
-                    MemoEntry::Exact {
-                        rem,
-                        choice: choice.into_boxed_slice(),
-                    },
-                );
+                self.record_exact(sid, phase, informed, rem, choice.into_boxed_slice());
                 Some(rem)
             }
             None => {
-                self.bump_lower_bound(key, budget + 1);
+                self.record_lower_bound(sid, phase, informed, budget + 1);
                 None
             }
         }
     }
 
-    /// Records `lb` as a proven lower bound, keeping the strongest one.
-    fn bump_lower_bound(&mut self, key: (StateId, Slot), lb: Slot) {
-        match self.memo.get_mut(&key) {
+    /// Memoizes an exact remainder under the tightest phase key certifying
+    /// it, and publishes it to the dominance store.
+    fn record_exact(
+        &mut self,
+        sid: StateId,
+        phase: Slot,
+        informed: &NodeSet,
+        rem: Slot,
+        choice: Box<[NodeId]>,
+    ) {
+        let key = self.store_key(phase, informed, |f| f.level_for_exact(rem));
+        self.memo
+            .insert((sid, key), MemoEntry::Exact { rem, choice });
+        if self.use_dominance {
+            let bucket = self.dominance.entry(phase).or_default();
+            if bucket.len() < DOMINANCE_BUCKET_CAP {
+                bucket.push((sid, rem));
+            } else if let Some(weakest) = bucket.iter_mut().min_by_key(|&&mut (_, r)| r) {
+                if rem > weakest.1 {
+                    *weakest = (sid, rem);
+                }
+            }
+        }
+    }
+
+    /// Records `lb` as a proven lower bound under the tightest phase key
+    /// certifying it, keeping the strongest bound per key.
+    fn record_lower_bound(&mut self, sid: StateId, phase: Slot, informed: &NodeSet, lb: Slot) {
+        let key = self.store_key(phase, informed, |f| f.level_for_bound(lb));
+        match self.memo.get_mut(&(sid, key)) {
             Some(MemoEntry::Exact { .. }) => {}
             Some(MemoEntry::LowerBound(old)) => {
                 if lb > *old {
@@ -499,23 +915,73 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                 }
             }
             None => {
-                self.memo.insert(key, MemoEntry::LowerBound(lb));
+                self.memo.insert((sid, key), MemoEntry::LowerBound(lb));
             }
         }
     }
 
+    /// The phase key to store an entry under: the chosen fold level when
+    /// folding is on and a level certifies the value, the raw phase
+    /// otherwise.
+    fn store_key(
+        &mut self,
+        phase: Slot,
+        informed: &NodeSet,
+        pick: impl FnOnce(&PhaseFolder) -> Option<usize>,
+    ) -> u64 {
+        match self.folder.as_mut() {
+            Some(f) => match pick(f) {
+                Some(li) => {
+                    f.prepare(self.topo, informed);
+                    f.key_at(li, phase, true)
+                        .expect("insert-mode key_at always yields a key")
+                }
+                None => phase,
+            },
+            None => phase,
+        }
+    }
+
+    /// The memoized exact entry of `(informed, t)`, across all phase keys.
+    fn lookup_exact(&mut self, informed: &NodeSet, t: Slot) -> Option<(Slot, Box<[NodeId]>)> {
+        let phase = t % self.wake.period();
+        let sid = self.interner.intern(informed);
+        let mut keys = [0u64; MAX_FOLD_LEVELS + 1];
+        let nkeys = self.lookup_keys(informed, phase, &mut keys);
+        for &key in &keys[..nkeys] {
+            if let Some(MemoEntry::Exact { rem, choice }) = self.memo.get(&(sid, key)) {
+                return Some((*rem, choice.clone()));
+            }
+        }
+        None
+    }
+
     /// Replays the memoized choices from the root into a schedule.
-    fn reconstruct(&mut self, source: NodeId, t_s: Slot, w0: &NodeSet) -> Schedule {
+    /// Returns `None` only if the state cap fires while re-deriving a
+    /// folded suffix (the caller then falls back to the seed schedule).
+    fn reconstruct(
+        &mut self,
+        source: NodeId,
+        t_s: Slot,
+        w0: &NodeSet,
+        rem_root: Slot,
+    ) -> Option<Schedule> {
         let n = self.topo.len();
         let mut informed = w0.clone();
         let mut receive_slot = vec![t_s; n];
         let mut entries = Vec::new();
         let mut t = t_s;
         while !informed.is_full() {
-            let key = (self.interner.intern(&informed), t % self.wake.period());
-            let entry = match self.memo.get(&key) {
-                Some(MemoEntry::Exact { choice, .. }) => choice,
-                _ => unreachable!("optimal path must be memoized exactly"),
+            let Some((_, entry)) = self.lookup_exact(&informed, t) else {
+                // The optimal path ran through a folded entry whose subtree
+                // was memoized under another phase's pattern classes;
+                // re-derive this suffix (cheap — the memo is warm) so the
+                // choices exist under our keys too.
+                let elapsed = t - t_s;
+                if rem_root <= elapsed || self.dfs(&informed, t, rem_root - elapsed).is_none() {
+                    return None;
+                }
+                continue;
             };
             if entry.is_empty() {
                 // A recorded wait: jump to the next wake-up among eligible
@@ -531,7 +997,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                 continue;
             }
             let mut advance = NodeSet::new(n);
-            for &u in entry {
+            for &u in entry.iter() {
                 advance.union_with(self.topo.neighbor_set(u));
             }
             advance.difference_with(&informed);
@@ -545,19 +1011,19 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             });
             t += 1;
         }
-        Schedule {
+        Some(Schedule {
             source,
             start: t_s,
             entries,
             receive_slot,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsn_dutycycle::{AlwaysAwake, ExplicitSchedule};
+    use wsn_dutycycle::{AlwaysAwake, ExplicitSchedule, WindowedRandom};
     use wsn_topology::{deploy, fixtures};
 
     #[test]
@@ -694,5 +1160,87 @@ mod tests {
         // …but flagged inexact.
         assert!(!out.exact);
         assert!(out.stats.state_cap_hit);
+    }
+
+    /// The duty-cycle configurations the folding tests sweep.
+    fn duty_wake(n: usize, rate: u32, seed: u64) -> WindowedRandom {
+        WindowedRandom::with_windows(n, rate, seed, 8)
+    }
+
+    #[test]
+    fn phase_folding_preserves_results_on_fixtures() {
+        for rate in [2u32, 5, 10, 50] {
+            for seed in 0..3u64 {
+                let (topo, src) = deploy::SyntheticDeployment::paper(60).sample(seed);
+                let wake = duty_wake(topo.len(), rate, seed ^ 0xd00d);
+                let folded = SearchConfig::default();
+                let unfolded = SearchConfig {
+                    phase_fold: false,
+                    ..SearchConfig::default()
+                };
+                let a = solve_gopt(&topo, src, &wake, &folded);
+                let b = solve_gopt(&topo, src, &wake, &unfolded);
+                assert_eq!(
+                    (a.latency, a.exact),
+                    (b.latency, b.exact),
+                    "rate {rate} seed {seed}: folding changed the G-OPT result"
+                );
+                a.schedule.verify(&topo, &wake).unwrap();
+                assert!(
+                    a.stats.memo_entries <= b.stats.memo_entries,
+                    "rate {rate} seed {seed}: folding grew the memo"
+                );
+                if rate >= 5 {
+                    assert!(a.stats.phase_classes > 0, "folder never engaged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_preserves_opt_results() {
+        for seed in 0..3u64 {
+            let (topo, src) = deploy::SyntheticDeployment::paper(60).sample(seed);
+            let on = solve_opt(
+                &topo,
+                src,
+                &AlwaysAwake,
+                &SearchConfig {
+                    dominance: true,
+                    ..SearchConfig::default()
+                },
+            );
+            let off = solve_opt(&topo, src, &AlwaysAwake, &SearchConfig::default());
+            assert_eq!(on.latency, off.latency, "seed {seed}: latency drifted");
+            // Dominance can only make the search *more* exact: it skips
+            // subtrees (sometimes the very ones whose enumeration would
+            // truncate) but never introduces truncation or caps.
+            assert!(
+                on.exact || !off.exact,
+                "seed {seed}: dominance lost exactness"
+            );
+            assert!(on.stats.states <= off.stats.states);
+        }
+    }
+
+    #[test]
+    fn frontier_ordering_with_overscan_stays_valid() {
+        for seed in 0..2u64 {
+            let (topo, src) = deploy::SyntheticDeployment::paper(60).sample(seed);
+            let wake = duty_wake(topo.len(), 10, seed);
+            let cfg = SearchConfig {
+                branch_cap: 12,
+                overscan: 4,
+                branch_order: BranchOrder::FrontierWeighted,
+                ..SearchConfig::default()
+            };
+            let out = solve_opt(&topo, src, &wake, &cfg);
+            out.schedule.verify(&topo, &wake).unwrap();
+            let g = solve_gopt(&topo, src, &wake, &cfg);
+            assert!(
+                out.latency <= g.latency,
+                "seed {seed}: beam OPT above G-OPT despite kept extensions"
+            );
+        }
     }
 }

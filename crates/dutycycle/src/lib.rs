@@ -20,13 +20,19 @@
 //! * [`ExplicitSchedule`] — hand-written wake lists for the paper's worked
 //!   examples (Table IV).
 //!
+//! [`WakePatternTable`] renders any schedule's period to per-node bit rows
+//! so the phase-folded search memoization in `mlbs-core` can compare wake
+//! windows across phases word-parallel.
+//!
 //! Node identity is a plain `usize` index here; this crate is independent
 //! of topology.
 
 mod explicit;
+mod pattern;
 mod windowed;
 
 pub use explicit::ExplicitSchedule;
+pub use pattern::WakePatternTable;
 pub use windowed::WindowedRandom;
 
 /// A time slot. Slot 0 is the first slot of the system lifetime; the paper

@@ -69,11 +69,15 @@ impl ConflictStats {
 /// Sentinel for "node is not a candidate" in the slot maps.
 const NO_SLOT: u32 = u32::MAX;
 
-/// Universe size (in nodes) above which retests go through the cached
-/// witness sets. Below it a `NodeSet` spans only a few words and the fused
-/// triple intersection is faster than any cache (measured on the paper
-/// grid); above it witness scans avoid touching ever-wider word rows.
-const WITNESS_RETEST_MIN_UNIVERSE: usize = 1024;
+/// Default universe size (in nodes) above which retests go through the
+/// cached witness sets. Below it a `NodeSet` spans only a few words and the
+/// fused triple intersection is faster than any cache (measured on the
+/// paper grid); above it witness scans avoid touching ever-wider word rows.
+/// Tunable per builder via
+/// [`ConflictGraphBuilder::set_witness_retest_min_universe`]; the
+/// `witness_threshold` group in the `substrates` bench measures both sides
+/// of the crossover so this constant can be re-derived instead of trusted.
+pub const WITNESS_RETEST_MIN_UNIVERSE: usize = 1024;
 
 /// Reusable, incrementally-updated [`ConflictGraph`] factory.
 ///
@@ -108,6 +112,8 @@ pub struct ConflictGraphBuilder {
     /// (0 = none). A different token forces a reset even at equal size.
     topo_token: u64,
     universe: usize,
+    /// Universe size at which retests switch to cached witness scans.
+    witness_min_universe: usize,
     stats: ConflictStats,
 }
 
@@ -138,8 +144,26 @@ impl ConflictGraphBuilder {
             added_buf: Vec::new(),
             topo_token: 0,
             universe: 0,
+            witness_min_universe: WITNESS_RETEST_MIN_UNIVERSE,
             stats: ConflictStats::default(),
         }
+    }
+
+    /// The universe size at which retests switch from fused triple
+    /// intersections to cached witness scans
+    /// ([`WITNESS_RETEST_MIN_UNIVERSE`] by default).
+    #[inline]
+    pub fn witness_retest_min_universe(&self) -> usize {
+        self.witness_min_universe
+    }
+
+    /// Overrides the witness-retest crossover for this builder (`0` =
+    /// always use the witness cache, `usize::MAX` = never). The setting
+    /// survives [`ConflictGraphBuilder::reset`] — it is a tuning knob, not
+    /// cached state — so benchmarks can re-measure the default crossover on
+    /// their own hardware.
+    pub fn set_witness_retest_min_universe(&mut self, min_universe: usize) {
+        self.witness_min_universe = min_universe;
     }
 
     /// Invalidates all cached state and re-sizes for a universe of `n`
@@ -251,7 +275,7 @@ impl ConflictGraphBuilder {
     /// few words long and wins outright (measured on the paper grid), so
     /// the cache stays cold there.
     fn pair_retest(&mut self, topo: &Topology, u: NodeId, v: NodeId, unf: &NodeSet) -> bool {
-        if self.universe < WITNESS_RETEST_MIN_UNIVERSE {
+        if self.universe < self.witness_min_universe {
             return self.pair_conflicts_fresh(topo, u, v, unf);
         }
         let key = pack_pair(u, v);
@@ -649,6 +673,34 @@ mod tests {
             assert_graphs_equal(b.update(&t, &cands, &unf), &scratch);
         }
         assert!(b.stats().delta_updates > 0);
+    }
+
+    #[test]
+    fn witness_threshold_is_tunable_without_changing_results() {
+        // Force the witness-cache path on a narrow universe (and the fused
+        // path on a wide one): graphs must stay bit-identical to scratch
+        // builds either way — the threshold is a speed knob, not semantics.
+        for forced in [0usize, usize::MAX] {
+            let t = line(40);
+            let cands: Vec<NodeId> = (10..30).map(|i| NodeId(i as u32)).collect();
+            let mut b = ConflictGraphBuilder::new();
+            b.set_witness_retest_min_universe(forced);
+            assert_eq!(b.witness_retest_min_universe(), forced);
+            let mut unf = NodeSet::full(40);
+            b.update(&t, &cands, &unf);
+            for step in 0..8usize {
+                unf.remove(step + 11);
+                let scratch = ConflictGraph::build(&t, &cands, &unf);
+                assert_graphs_equal(b.update(&t, &cands, &unf), &scratch);
+            }
+            // The knob survives a reset (it is configuration, not cache).
+            b.reset(40);
+            assert_eq!(b.witness_retest_min_universe(), forced);
+        }
+        assert_eq!(
+            ConflictGraphBuilder::new().witness_retest_min_universe(),
+            WITNESS_RETEST_MIN_UNIVERSE
+        );
     }
 
     #[test]

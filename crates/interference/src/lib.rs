@@ -19,7 +19,7 @@
 
 mod builder;
 
-pub use builder::{ConflictGraphBuilder, ConflictStats};
+pub use builder::{ConflictGraphBuilder, ConflictStats, WITNESS_RETEST_MIN_UNIVERSE};
 
 use wsn_bitset::NodeSet;
 use wsn_topology::{NodeId, Topology};

@@ -97,6 +97,10 @@ pub struct RunResult {
     /// `false` when a search hit a cap and returned a possibly suboptimal
     /// schedule; `None` for non-search algorithms.
     pub exact: Option<bool>,
+    /// Search statistics (state counts, phase-fold classes, dominance
+    /// prunes, …); `None` for non-search algorithms. This is how the
+    /// claims binary threads per-run counters into `BENCH_search.json`.
+    pub search_stats: Option<mlbs_core::SearchStats>,
     /// Theorem 1 bound for this instance and regime.
     pub opt_analysis: Slot,
     /// The baseline's analytical bound for this instance and regime
@@ -162,6 +166,7 @@ fn run_with<S: WakeSchedule>(
 ) -> RunResult {
     let start = search.start_from;
     let mut exact = None;
+    let mut search_stats = None;
     let schedule = match algorithm {
         Algorithm::Layered => {
             schedule_layered_with(topo, source, wake, start, LayeredMode::FixedColors, state)
@@ -206,11 +211,13 @@ fn run_with<S: WakeSchedule>(
         Algorithm::GOpt => {
             let out = solve_gopt_with(topo, source, wake, search, state);
             exact = Some(out.exact);
+            search_stats = Some(out.stats);
             out.schedule
         }
         Algorithm::Opt => {
             let out = solve_opt_with(topo, source, wake, search, state);
             exact = Some(out.exact);
+            search_stats = Some(out.stats);
             out.schedule
         }
     };
@@ -239,6 +246,7 @@ fn run_with<S: WakeSchedule>(
         transmissions: schedule.transmission_count(),
         eccentricity: ecc,
         exact,
+        search_stats,
         opt_analysis,
         baseline_bound,
     }

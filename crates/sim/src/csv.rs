@@ -91,6 +91,7 @@ mod tests {
             regime: Regime::Sync,
             master_seed: 7,
             search: SearchConfig::default(),
+            search_overrides: Vec::new(),
             threads: 1,
         }
         .run()

@@ -23,6 +23,11 @@ pub struct Sweep {
     pub master_seed: u64,
     /// Search configuration for OPT / G-OPT.
     pub search: SearchConfig,
+    /// Per-node-count overrides of `search` — how `wsn-bench` threads its
+    /// adaptive budgets through (instance size is not known to a single
+    /// `SearchConfig`). First match wins; node counts without an entry use
+    /// `search`.
+    pub search_overrides: Vec<(usize, SearchConfig)>,
     /// Worker threads (1 = sequential; results are identical either way).
     pub threads: usize,
 }
@@ -37,8 +42,17 @@ impl Sweep {
             regime,
             master_seed,
             search: SearchConfig::default(),
+            search_overrides: Vec::new(),
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
         }
+    }
+
+    /// The search configuration a `nodes`-sized instance runs under.
+    pub fn search_for_nodes(&self, nodes: usize) -> &SearchConfig {
+        self.search_overrides
+            .iter()
+            .find(|(n, _)| *n == nodes)
+            .map_or(&self.search, |(_, cfg)| cfg)
     }
 
     /// Runs the sweep and aggregates per (algorithm, node count).
@@ -59,15 +73,20 @@ impl Sweep {
         let mut inexact = 0usize;
 
         // Work distribution: an atomic cursor over the job list (an MPMC
-        // queue in miniature) feeding an mpsc result channel. Records are
-        // tagged with their job index and aggregated in job order below:
-        // Welford accumulation is not permutation-invariant in floating
-        // point, and sorting is what makes sweep results bit-identical
-        // regardless of thread count (the property the tests assert).
+        // queue in miniature) feeding an mpsc result channel. Workers
+        // claim *batches* of consecutive jobs — one cursor fetch per
+        // chunk, not per instance — sized so each worker sees several
+        // chunks (load balancing) without contending on the cursor per
+        // job. Records are tagged with their job index and aggregated in
+        // job order below: Welford accumulation is not
+        // permutation-invariant in floating point, and sorting is what
+        // makes sweep results bit-identical regardless of thread count
+        // and chunk geometry (the property the tests assert).
         let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, InstanceRecord)>();
         let next_job = std::sync::atomic::AtomicUsize::new(0);
 
         let workers = self.threads.max(1);
+        let chunk = jobs.len().div_ceil(workers * 8).max(1);
         let mut records = std::thread::scope(|scope| {
             for _ in 0..workers {
                 let res_tx = res_tx.clone();
@@ -79,13 +98,17 @@ impl Sweep {
                     // the conflict builder live for the whole sweep.
                     let mut substrate = BroadcastState::new();
                     loop {
-                        let k = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(&(nodes, instance)) = jobs.get(k) else {
+                        let start = next_job.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if start >= jobs.len() {
                             return;
-                        };
-                        let rec = sweep.run_one(nodes, instance, &mut substrate);
-                        if res_tx.send((k, rec)).is_err() {
-                            return;
+                        }
+                        for (k, &(nodes, instance)) in
+                            jobs.iter().enumerate().skip(start).take(chunk)
+                        {
+                            let rec = sweep.run_one(nodes, instance, &mut substrate);
+                            if res_tx.send((k, rec)).is_err() {
+                                return;
+                            }
                         }
                     }
                 });
@@ -167,6 +190,7 @@ impl Sweep {
         let deployment = SyntheticDeployment::paper(nodes);
         let (topo, source) = deployment.sample(seed);
         let wake_seed = derive_seed(seed, WAKE_SEED_TAG, 0);
+        let search = self.search_for_nodes(nodes);
         let runs = self
             .algorithms
             .iter()
@@ -179,7 +203,7 @@ impl Sweep {
                         self.regime,
                         alg,
                         wake_seed,
-                        &self.search,
+                        search,
                         substrate,
                     ),
                 )
@@ -286,6 +310,7 @@ mod tests {
             regime: Regime::Sync,
             master_seed: 1234,
             search: SearchConfig::default(),
+            search_overrides: Vec::new(),
             threads,
         }
         .run()
@@ -307,7 +332,26 @@ mod tests {
     }
 
     #[test]
+    fn search_override_selects_per_node_config() {
+        let mut s = Sweep::paper_grid(Regime::Sync, 1, 7);
+        s.search_overrides.push((
+            100,
+            SearchConfig {
+                branch_cap: 5,
+                ..SearchConfig::default()
+            },
+        ));
+        assert_eq!(s.search_for_nodes(100).branch_cap, 5);
+        assert_eq!(
+            s.search_for_nodes(150).branch_cap,
+            SearchConfig::default().branch_cap
+        );
+    }
+
+    #[test]
     fn results_independent_of_thread_count() {
+        // Thread count also changes the chunk geometry of the batched job
+        // pool, so this doubles as the chunking-is-transparent check.
         let a = tiny_sweep(1);
         let b = tiny_sweep(4);
         for (pa, pb) in a.points.iter().zip(&b.points) {

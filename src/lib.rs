@@ -62,6 +62,17 @@
 //! searches) hold one substrate and thread it through the `*_with` entry
 //! points (`solve_opt_with`, `run_pipeline_with`, `run_instance_with`, …);
 //! the plain entry points remain as one-shot conveniences.
+//!
+//! In the duty-cycled regime the searches additionally *fold the phase
+//! axis*: a [`dutycycle::WakePatternTable`] renders the wake schedule to
+//! per-node bit rows, a [`bitset::WordSeqInterner`] canonicalizes
+//! wake-pattern windows restricted to the uninformed neighborhood, and
+//! the memo keys become `(StateId, pattern-class)` so phases that look
+//! alike over the remaining horizon share one entry (see the DESIGN note
+//! in `mlbs-core::search`). Superset-dominance pruning and
+//! frontier-weighted branch ordering ride on top, and
+//! [`bench::AdaptiveBudget`] derives per-instance search caps from a
+//! wall-clock target instead of regime constants.
 
 pub use mlbs_core as core;
 pub use wsn_baselines as baselines;
@@ -79,7 +90,7 @@ pub use wsn_topology as topology;
 pub mod prelude {
     pub use mlbs_core::{
         bounds, run_pipeline, run_pipeline_with, solve_gopt, solve_gopt_with, solve_opt,
-        solve_opt_with, BroadcastState, ColorSelector, EModel, EModelSelector,
+        solve_opt_with, BranchOrder, BroadcastState, ColorSelector, EModel, EModelSelector,
         MaxReceiversSelector, PipelineConfig, Schedule, ScheduleEntry, ScheduleError, SearchConfig,
         SearchOutcome,
     };
@@ -87,12 +98,15 @@ pub mod prelude {
         flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered, schedule_layered,
         schedule_layered_with, LayeredMode,
     };
-    pub use wsn_bitset::{NodeSet, SetInterner, StateId};
+    pub use wsn_bench::AdaptiveBudget;
+    pub use wsn_bitset::{NodeSet, SetInterner, StateId, WordSeqInterner};
     pub use wsn_coloring::{eligible_senders, greedy_coloring, validate_coloring};
     pub use wsn_distributed::{
         distributed_emodel, localized_broadcast, localized_broadcast_with, LocalizedOutcome,
     };
-    pub use wsn_dutycycle::{AlwaysAwake, ExplicitSchedule, Slot, WakeSchedule, WindowedRandom};
+    pub use wsn_dutycycle::{
+        AlwaysAwake, ExplicitSchedule, Slot, WakePatternTable, WakeSchedule, WindowedRandom,
+    };
     pub use wsn_geom::{Point, Quadrant, Rect};
     pub use wsn_sim::{run_instance, run_instance_with, Algorithm, Regime, Summary, Sweep};
     pub use wsn_topology::{deploy::SyntheticDeployment, fixtures, metrics, NodeId, Topology};

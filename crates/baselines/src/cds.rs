@@ -112,10 +112,7 @@ pub fn schedule_cds_layered(topo: &Topology, source: NodeId) -> Schedule {
             informed.union_with(&advance);
             let mut sorted = senders;
             sorted.sort_unstable();
-            entries.push(ScheduleEntry {
-                slot: t,
-                senders: sorted,
-            });
+            entries.push(ScheduleEntry::new(t, sorted));
             t += 1;
         }
     }

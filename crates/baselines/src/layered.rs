@@ -147,10 +147,7 @@ impl<S: WakeSchedule> LayerRun<'_, S> {
         }
         self.informed.union_with(&advance);
         senders.sort_unstable();
-        self.entries.push(ScheduleEntry {
-            slot: self.t,
-            senders,
-        });
+        self.entries.push(ScheduleEntry::new(self.t, senders));
         self.t += 1;
     }
 

@@ -16,8 +16,9 @@
 use mlbs_core::{solve_opt_with, BroadcastState, SearchConfig, SearchOutcome};
 use wsn_bench::{AdaptiveBudget, FigureOpts};
 use wsn_dutycycle::{AlwaysAwake, WindowedRandom};
-use wsn_sim::{Regime, SweepResult};
-use wsn_topology::deploy::SyntheticDeployment;
+use wsn_phy::{PhyModelSpec, SinrParams};
+use wsn_sim::{Algorithm, Regime, Sweep, SweepResult};
+use wsn_topology::deploy::{SyntheticDeployment, PAPER_RADIUS};
 
 fn check(name: &str, ok: bool, detail: String) {
     println!("[{}] {name}: {detail}", if ok { "PASS" } else { "WARN" });
@@ -156,6 +157,62 @@ fn emit_search_baseline(path: &str) {
     }
 }
 
+/// The model/channel axis `BENCH_phy.json` reports: the protocol model
+/// and calibrated pairwise SINR (α = 3, β = 1.5, reception range = the
+/// paper radius, interference counted to 2×radius), each at K ∈ {1, 2, 4}
+/// channels.
+fn phy_model_axis() -> Vec<PhyModelSpec> {
+    let sinr = PhyModelSpec::sinr(SinrParams::calibrated(PAPER_RADIUS, 3.0, 1.5));
+    [PhyModelSpec::protocol(), sinr]
+        .into_iter()
+        .flat_map(|base| [1u32, 2, 4].into_iter().map(move |k| base.with_channels(k)))
+        .collect()
+}
+
+/// Emits `BENCH_phy.json`: OPT and G-OPT mean latency/transmissions on the
+/// paper grid across the conflict-model axis — protocol vs pairwise SINR
+/// vs K ∈ {1, 2, 4} channels, every model run on identical instances
+/// (same deployments, same sources) through `Sweep`'s model axis.
+fn emit_phy_baseline(path: &str, opts: &FigureOpts) {
+    let instances = opts.instances.clamp(1, 3);
+    let mut sweep = Sweep::paper_grid(Regime::Sync, instances, opts.seed);
+    sweep.threads = opts.threads;
+    sweep.algorithms = vec![Algorithm::Opt, Algorithm::GOpt];
+    sweep.models = phy_model_axis();
+    let result = sweep.run();
+    let mut points = Vec::new();
+    for p in &result.points {
+        let mut rows = Vec::new();
+        for (label, lat, tx) in &p.per_algorithm {
+            let (alg, model) = label
+                .split_once('@')
+                .unwrap_or((label.as_str(), "protocol"));
+            rows.push(format!(
+                "      {{\"algorithm\": \"{alg}\", \"model\": \"{model}\", \
+                 \"mean_latency\": {:.4}, \"mean_transmissions\": {:.4}}}",
+                lat.mean(),
+                tx.mean()
+            ));
+        }
+        points.push(format!(
+            "    {{\"nodes\": {}, \"density\": {:.4}, \"rows\": [\n{}\n    ]}}",
+            p.nodes,
+            p.density,
+            rows.join(",\n")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"phy\",\n  \"regime\": \"sync\",\n  \"instances\": {instances},\n  \
+         \"inexact_runs\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        result.inexact_runs,
+        points.join(",\n")
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[claims] wrote {path}"),
+        Err(e) => eprintln!("[claims] could not write {path}: {e}"),
+    }
+}
+
 fn max_gap(result: &SweepResult, a: &str, b: &str) -> f64 {
     result
         .points
@@ -179,6 +236,11 @@ fn bound_ok(result: &SweepResult) -> bool {
 
 fn main() {
     let opts = FigureOpts::from_args();
+    if std::env::args().any(|a| a == "--phy-bench-only") {
+        // Model-axis quick-look: BENCH_phy.json alone.
+        emit_phy_baseline("BENCH_phy.json", &opts);
+        return;
+    }
     emit_substrate_baseline("BENCH_substrate.json");
     emit_search_baseline("BENCH_search.json");
     if std::env::args().any(|a| a == "--search-bench-only") {
@@ -186,6 +248,7 @@ fn main() {
         // claim sweeps.
         return;
     }
+    emit_phy_baseline("BENCH_phy.json", &opts);
 
     println!("=== synchronous system ===");
     let mut sweep = opts.sweep(Regime::Sync);

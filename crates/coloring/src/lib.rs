@@ -22,11 +22,13 @@
 //!   candidate list, and a delta-maintained conflict graph shared between
 //!   the greedy coloring and the enumeration.
 
+mod channels;
 mod enumerate;
 mod greedy;
 mod substrate;
 mod validity;
 
+pub use channels::{greedy_pack_order, pack_channels, pack_channels_ordered};
 pub use enumerate::{
     extend_to_maximal, maximal_conflict_free_sets, order_best_first, truncate_keeping,
     EnumerationOutcome,

@@ -23,6 +23,7 @@ use crate::greedy_classes_on_graph;
 use wsn_bitset::NodeSet;
 use wsn_dutycycle::{Slot, WakeSchedule};
 use wsn_interference::{ConflictGraph, ConflictGraphBuilder, ConflictStats};
+use wsn_phy::{ConflictModel, ProtocolModel};
 use wsn_topology::{NodeId, Topology};
 
 /// Reusable per-scheduler working state: informed/uninformed sets, the
@@ -145,27 +146,78 @@ impl BroadcastState {
     }
 
     /// The conflict graph of the loaded state, produced incrementally from
-    /// the previously loaded one.
+    /// the previously loaded one (protocol model).
     pub fn conflict_graph(&mut self, topo: &Topology) -> &ConflictGraph {
+        self.conflict_graph_with(topo, &ProtocolModel)
+    }
+
+    /// As [`BroadcastState::conflict_graph`], under an arbitrary
+    /// [`ConflictModel`]. The shared builder keys its caches on the model
+    /// fingerprint, so alternating models on one substrate is safe (each
+    /// switch costs a rebuild).
+    pub fn conflict_graph_with<M: ConflictModel>(
+        &mut self,
+        topo: &Topology,
+        model: &M,
+    ) -> &ConflictGraph {
         self.builder
-            .update(topo, &self.candidates, &self.uninformed)
+            .update_with(model, topo, &self.candidates, &self.uninformed)
     }
 
     /// The extended greedy color classes (Algorithm 1) of the loaded
-    /// state, computed over the shared incremental conflict graph.
+    /// state, computed over the shared incremental conflict graph
+    /// (protocol model).
     pub fn greedy_classes(&mut self, topo: &Topology) -> Vec<Vec<NodeId>> {
         self.classes_and_graph(topo).0
     }
 
+    /// As [`BroadcastState::greedy_classes`], under an arbitrary
+    /// [`ConflictModel`].
+    pub fn greedy_classes_with<M: ConflictModel>(
+        &mut self,
+        topo: &Topology,
+        model: &M,
+    ) -> Vec<Vec<NodeId>> {
+        self.classes_and_graph_with(topo, model).0
+    }
+
     /// Greedy classes plus the conflict graph they were colored on — one
     /// graph update serving both the coloring and any enumeration the
-    /// caller runs next (the OPT search's per-state pattern).
+    /// caller runs next (the OPT search's per-state pattern). Protocol
+    /// model.
     pub fn classes_and_graph(&mut self, topo: &Topology) -> (Vec<Vec<NodeId>>, &ConflictGraph) {
+        self.classes_and_graph_with(topo, &ProtocolModel)
+    }
+
+    /// As [`BroadcastState::classes_and_graph`], under an arbitrary
+    /// [`ConflictModel`].
+    pub fn classes_and_graph_with<M: ConflictModel>(
+        &mut self,
+        topo: &Topology,
+        model: &M,
+    ) -> (Vec<Vec<NodeId>>, &ConflictGraph) {
         let cg = self
             .builder
-            .update(topo, &self.candidates, &self.uninformed);
+            .update_with(model, topo, &self.candidates, &self.uninformed);
         let classes = greedy_classes_on_graph(topo, &self.uninformed, cg);
         (classes, cg)
+    }
+
+    /// Packs one slot's multi-channel advance: `seed` transmits on channel
+    /// 0 and the remaining candidates fill channels `1..model.channels()`
+    /// greedily ([`crate::pack_channels`]), over the shared incremental
+    /// conflict graph of the loaded state. With a single-channel model the
+    /// seed is returned as-is (sorted) with no channel list.
+    pub fn pack_channels_with<M: ConflictModel>(
+        &mut self,
+        topo: &Topology,
+        model: &M,
+        seed: &[NodeId],
+    ) -> (Vec<NodeId>, Vec<u8>) {
+        let cg = self
+            .builder
+            .update_with(model, topo, &self.candidates, &self.uninformed);
+        crate::pack_channels(topo, cg, &self.uninformed, seed, model.channels())
     }
 
     /// Work accounting of the incremental conflict builder since the last

@@ -63,12 +63,13 @@ mod trace;
 
 pub use emodel::{EModel, EModelSelector, EModelStats, ScalarESelector, ScalarEdgeDistance};
 pub use pipeline::{
-    run_pipeline, run_pipeline_with, ColorSelector, MaxReceiversSelector, PipelineConfig,
+    run_pipeline, run_pipeline_model, run_pipeline_with, ColorSelector, MaxReceiversSelector,
+    PipelineConfig,
 };
 pub use schedule::{Schedule, ScheduleEntry, ScheduleError};
 pub use search::{
-    solve_gopt, solve_gopt_with, solve_opt, solve_opt_with, BranchOrder, SearchConfig,
-    SearchOutcome, SearchStats,
+    solve_gopt, solve_gopt_model, solve_gopt_with, solve_opt, solve_opt_model, solve_opt_with,
+    BranchOrder, SearchConfig, SearchOutcome, SearchStats,
 };
 pub use trace::{SearchTrace, TraceState};
 

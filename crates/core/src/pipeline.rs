@@ -12,6 +12,7 @@ use crate::schedule::{Schedule, ScheduleEntry};
 use wsn_bitset::NodeSet;
 use wsn_coloring::BroadcastState;
 use wsn_dutycycle::{Slot, WakeSchedule};
+use wsn_phy::{ConflictModel, ProtocolModel};
 use wsn_topology::{NodeId, Topology};
 
 /// Chooses which greedy color class to launch at each advance.
@@ -102,6 +103,24 @@ pub fn run_pipeline_with<S: WakeSchedule, C: ColorSelector>(
     config: &PipelineConfig,
     state: &mut BroadcastState,
 ) -> Schedule {
+    run_pipeline_model(topo, source, wake, &ProtocolModel, selector, config, state)
+}
+
+/// As [`run_pipeline_with`], under an arbitrary [`ConflictModel`]: the
+/// greedy classes are colored on the model's conflict graph, and with a
+/// multi-channel model the selected class transmits on channel 0 while the
+/// remaining candidates fill channels `1..K` greedily
+/// (`BroadcastState::pack_channels_with`). The default protocol model
+/// takes exactly the pre-model code path.
+pub fn run_pipeline_model<S: WakeSchedule, C: ColorSelector, M: ConflictModel>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    model: &M,
+    selector: &mut C,
+    config: &PipelineConfig,
+    state: &mut BroadcastState,
+) -> Schedule {
     assert!(source.idx() < topo.len(), "source out of range");
     let n = topo.len();
     let t_s = wake.next_send(source.idx(), config.start_from);
@@ -132,10 +151,16 @@ pub fn run_pipeline_with<S: WakeSchedule, C: ColorSelector>(
             continue;
         }
 
-        let classes = state.greedy_classes(topo);
+        let classes = state.greedy_classes_with(topo, model);
         let choice = selector.select(topo, state, &classes, t);
         assert!(choice < classes.len(), "selector returned invalid class");
-        let senders = classes[choice].clone();
+        let (senders, channels) = if model.channels() > 1 {
+            state.pack_channels_with(topo, model, &classes[choice])
+        } else {
+            let mut sorted = classes[choice].clone();
+            sorted.sort_unstable();
+            (sorted, Vec::new())
+        };
 
         let mut advance = NodeSet::new(n);
         for &u in &senders {
@@ -148,11 +173,10 @@ pub fn run_pipeline_with<S: WakeSchedule, C: ColorSelector>(
         }
         informed.union_with(&advance);
 
-        let mut sorted = senders;
-        sorted.sort_unstable();
         entries.push(ScheduleEntry {
             slot: t,
-            senders: sorted,
+            senders,
+            channels,
         });
         t += 1;
     }

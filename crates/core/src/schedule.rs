@@ -2,16 +2,40 @@
 
 use wsn_bitset::NodeSet;
 use wsn_dutycycle::{Slot, WakeSchedule};
-use wsn_interference::resolve_receptions;
+use wsn_phy::{ConflictModel, ProtocolModel};
 use wsn_topology::{NodeId, Topology};
 
-/// One advance: a conflict-free sender set launched in a slot.
+/// One advance: a conflict-free sender set launched in a slot. Under a
+/// multi-channel model the slot may carry several sender groups, one per
+/// orthogonal channel, recorded in `channels`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleEntry {
     /// The slot of the transmission.
     pub slot: Slot,
-    /// The senders (one color), ascending by node id.
+    /// The senders (one color, or one group per channel), ascending by
+    /// node id.
     pub senders: Vec<NodeId>,
+    /// Channel of each sender, parallel to `senders`. Empty means "all on
+    /// channel 0" — the single-channel system, and the shape of every
+    /// schedule produced under a `channels() == 1` model.
+    pub channels: Vec<u8>,
+}
+
+impl ScheduleEntry {
+    /// A single-channel advance (`channels` empty).
+    pub fn new(slot: Slot, senders: Vec<NodeId>) -> ScheduleEntry {
+        ScheduleEntry {
+            slot,
+            senders,
+            channels: Vec::new(),
+        }
+    }
+
+    /// The channel of sender `i` (0 when the entry is single-channel).
+    #[inline]
+    pub fn channel_of(&self, i: usize) -> u8 {
+        self.channels.get(i).copied().unwrap_or(0)
+    }
 }
 
 /// A complete broadcast schedule: which conflict-free set transmits in
@@ -59,8 +83,9 @@ impl Schedule {
         self.entries.iter().map(|e| e.senders.len()).sum()
     }
 
-    /// Replays the schedule and checks every legality condition. Verified
-    /// schedules are exactly those executable on the paper's network model:
+    /// Replays the schedule and checks every legality condition under the
+    /// paper's protocol model, single channel. Verified schedules are
+    /// exactly those executable on the paper's network model:
     ///
     /// 1. entries are in strictly increasing slot order, none before `t_s`;
     /// 2. every sender is informed before its slot, awake in it
@@ -69,7 +94,26 @@ impl Schedule {
     ///    independently of the scheduler via receiver-side collision
     ///    resolution;
     /// 4. every node is informed by the end (full coverage).
+    ///
+    /// Schedules produced under another conflict regime (SINR,
+    /// multi-channel) must be checked with
+    /// [`Schedule::verify_with_model`] instead — this entry point rejects
+    /// any entry that uses a channel other than 0.
     pub fn verify<S: WakeSchedule>(&self, topo: &Topology, wake: &S) -> Result<(), ScheduleError> {
+        self.verify_with_model(topo, wake, &ProtocolModel)
+    }
+
+    /// As [`Schedule::verify`], under an arbitrary [`ConflictModel`]:
+    /// reception is resolved by the model (SINR capture, …) **per channel
+    /// group**, every used channel must exist (`< model.channels()`), and
+    /// a collision inside any group is an error. The informed set grows by
+    /// the union of the groups' clean receptions.
+    pub fn verify_with_model<S: WakeSchedule, M: ConflictModel>(
+        &self,
+        topo: &Topology,
+        wake: &S,
+        model: &M,
+    ) -> Result<(), ScheduleError> {
         let n = topo.len();
         let mut informed = NodeSet::new(n);
         informed.insert(self.source.idx());
@@ -93,9 +137,14 @@ impl Schedule {
             if entry.senders.is_empty() {
                 return Err(ScheduleError::EmptyAdvance { slot: entry.slot });
             }
+            if !entry.channels.is_empty() && entry.channels.len() != entry.senders.len() {
+                return Err(ScheduleError::ChannelArity { slot: entry.slot });
+            }
 
-            let mut senders = NodeSet::new(n);
-            for &u in &entry.senders {
+            // One sender bitset per used channel, built while the
+            // per-sender conditions are checked.
+            let mut groups: Vec<(u8, NodeSet)> = Vec::new();
+            for (i, &u) in entry.senders.iter().enumerate() {
                 if !informed.contains(u.idx()) {
                     return Err(ScheduleError::UninformedSender {
                         node: u,
@@ -112,18 +161,41 @@ impl Schedule {
                     return Err(ScheduleError::DuplicateSender { node: u });
                 }
                 has_sent.insert(u.idx());
-                senders.insert(u.idx());
+                let c = entry.channel_of(i);
+                if u32::from(c) >= model.channels() {
+                    return Err(ScheduleError::BadChannel {
+                        node: u,
+                        slot: entry.slot,
+                        channel: c,
+                    });
+                }
+                match groups.iter_mut().find(|(gc, _)| *gc == c) {
+                    Some((_, set)) => {
+                        set.insert(u.idx());
+                    }
+                    None => {
+                        let mut set = NodeSet::new(n);
+                        set.insert(u.idx());
+                        groups.push((c, set));
+                    }
+                }
             }
 
+            // All groups transmit simultaneously against the same W̄; a
+            // receiver is served when any channel delivers to it cleanly.
             let uninformed = informed.complement();
-            let outcome = resolve_receptions(topo, &senders, &uninformed);
-            if let Some(victim) = outcome.collided.min() {
-                return Err(ScheduleError::Collision {
-                    victim: NodeId(victim as u32),
-                    slot: entry.slot,
-                });
+            let mut received = NodeSet::new(n);
+            for (_, senders) in &groups {
+                let outcome = model.resolve_receptions(topo, senders, &uninformed);
+                if let Some(victim) = outcome.collided.min() {
+                    return Err(ScheduleError::Collision {
+                        victim: NodeId(victim as u32),
+                        slot: entry.slot,
+                    });
+                }
+                received.union_with(&outcome.received);
             }
-            informed.union_with(&outcome.received);
+            informed.union_with(&received);
         }
 
         if !informed.is_full() {
@@ -170,6 +242,14 @@ pub enum ScheduleError {
     Collision { victim: NodeId, slot: Slot },
     /// Some node never receives the message.
     Incomplete { node: NodeId },
+    /// A sender uses a channel the model does not provide.
+    BadChannel {
+        node: NodeId,
+        slot: Slot,
+        channel: u8,
+    },
+    /// An entry's channel list does not match its sender list.
+    ChannelArity { slot: Slot },
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -197,6 +277,19 @@ impl std::fmt::Display for ScheduleError {
             ScheduleError::Incomplete { node } => {
                 write!(f, "node {node} never receives the message")
             }
+            ScheduleError::BadChannel {
+                node,
+                slot,
+                channel,
+            } => {
+                write!(
+                    f,
+                    "node {node} transmits at slot {slot} on nonexistent channel {channel}"
+                )
+            }
+            ScheduleError::ChannelArity { slot } => {
+                write!(f, "entry at slot {slot} has mismatched channel list")
+            }
         }
     }
 }
@@ -217,14 +310,8 @@ mod tests {
             source: f.source,
             start: 1,
             entries: vec![
-                ScheduleEntry {
-                    slot: 1,
-                    senders: vec![f.id("1")],
-                },
-                ScheduleEntry {
-                    slot: 2,
-                    senders: vec![f.id("2")],
-                },
+                ScheduleEntry::new(1, vec![f.id("1")]),
+                ScheduleEntry::new(2, vec![f.id("2")]),
             ],
             receive_slot: vec![1, 2, 2, 3, 3],
         };
@@ -248,14 +335,8 @@ mod tests {
             source: f.source,
             start: 1,
             entries: vec![
-                ScheduleEntry {
-                    slot: 1,
-                    senders: vec![f.id("1")],
-                },
-                ScheduleEntry {
-                    slot: 2,
-                    senders: vec![f.id("2"), f.id("3")],
-                },
+                ScheduleEntry::new(1, vec![f.id("1")]),
+                ScheduleEntry::new(2, vec![f.id("2"), f.id("3")]),
             ],
             receive_slot: vec![],
         };
@@ -275,10 +356,7 @@ mod tests {
         let s = Schedule {
             source: f.source,
             start: 1,
-            entries: vec![ScheduleEntry {
-                slot: 1,
-                senders: vec![f.id("2")],
-            }],
+            entries: vec![ScheduleEntry::new(1, vec![f.id("2")])],
             receive_slot: vec![],
         };
         assert!(matches!(
@@ -305,10 +383,7 @@ mod tests {
         let s = Schedule {
             source: f.source,
             start: 1,
-            entries: vec![ScheduleEntry {
-                slot: 1,
-                senders: vec![f.id("1")],
-            }],
+            entries: vec![ScheduleEntry::new(1, vec![f.id("1")])],
             receive_slot: vec![],
         };
         assert!(matches!(
@@ -339,6 +414,51 @@ mod tests {
         assert_eq!(w1.len(), 3);
         let w2 = s.informed_after(&f.topo, 2);
         assert!(w2.is_full());
+    }
+
+    #[test]
+    fn multichannel_entry_verifies_under_its_model() {
+        use wsn_phy::{MultiChannel, ProtocolModel};
+        let f = fixtures::fig2a();
+        // "2" and "3" conflict at "4" on one channel — but on two channels
+        // they may fire in the same slot.
+        let s = Schedule {
+            source: f.source,
+            start: 1,
+            entries: vec![
+                ScheduleEntry::new(1, vec![f.id("1")]),
+                ScheduleEntry {
+                    slot: 2,
+                    senders: vec![f.id("2"), f.id("3")],
+                    channels: vec![0, 1],
+                },
+            ],
+            receive_slot: vec![1, 2, 2, 2, 2],
+        };
+        let two = MultiChannel::new(ProtocolModel, 2);
+        s.verify_with_model(&f.topo, &AlwaysAwake, &two).unwrap();
+        // The single-channel verifier rejects the channel-1 transmission…
+        assert!(matches!(
+            s.verify(&f.topo, &AlwaysAwake).unwrap_err(),
+            ScheduleError::BadChannel { channel: 1, .. }
+        ));
+        // …and a mismatched channel list is rejected outright.
+        let mut bad = s.clone();
+        bad.entries[1].channels = vec![0];
+        assert!(matches!(
+            bad.verify_with_model(&f.topo, &AlwaysAwake, &two)
+                .unwrap_err(),
+            ScheduleError::ChannelArity { slot: 2 }
+        ));
+        // Same-channel conflicting senders still collide.
+        let mut collide = s.clone();
+        collide.entries[1].channels = vec![0, 0];
+        assert!(matches!(
+            collide
+                .verify_with_model(&f.topo, &AlwaysAwake, &two)
+                .unwrap_err(),
+            ScheduleError::Collision { slot: 2, .. }
+        ));
     }
 
     #[test]

@@ -87,7 +87,7 @@
 //! caps forced a beam.
 
 use crate::bounds::remaining_hops_profile;
-use crate::pipeline::{run_pipeline_with, MaxReceiversSelector, PipelineConfig};
+use crate::pipeline::{run_pipeline_model, MaxReceiversSelector, PipelineConfig};
 use crate::schedule::{Schedule, ScheduleEntry};
 use crate::trace::{SearchTrace, TraceOption, TraceState};
 use std::collections::HashMap;
@@ -97,6 +97,7 @@ use wsn_coloring::{
     BroadcastState,
 };
 use wsn_dutycycle::{Slot, WakePatternTable, WakeSchedule};
+use wsn_phy::{ConflictModel, ProtocolModel};
 use wsn_topology::{NodeId, Topology};
 
 /// How the OPT search orders the enumerated color sets before branching.
@@ -255,7 +256,22 @@ pub fn solve_gopt_with<S: WakeSchedule>(
     config: &SearchConfig,
     state: &mut BroadcastState,
 ) -> SearchOutcome {
-    Searcher::new(topo, wake, config, BranchRule::GreedyClasses, state).run(source)
+    solve_gopt_model(topo, source, wake, &ProtocolModel, config, state)
+}
+
+/// As [`solve_gopt_with`], under an arbitrary [`ConflictModel`] (greedy
+/// classes colored on the model's conflict graph; multi-channel models
+/// pack extra channels per advance). The default protocol model takes
+/// exactly the pre-model code path.
+pub fn solve_gopt_model<S: WakeSchedule, M: ConflictModel>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    model: &M,
+    config: &SearchConfig,
+    state: &mut BroadcastState,
+) -> SearchOutcome {
+    Searcher::new(topo, wake, model, config, BranchRule::GreedyClasses, state).run(source)
 }
 
 /// OPT: minimum-latency schedule over every admissible color (Eq. 5/6).
@@ -281,14 +297,42 @@ pub fn solve_opt_with<S: WakeSchedule>(
     config: &SearchConfig,
     state: &mut BroadcastState,
 ) -> SearchOutcome {
-    Searcher::new(topo, wake, config, BranchRule::MaximalSets, state).run(source)
+    solve_opt_model(topo, source, wake, &ProtocolModel, config, state)
+}
+
+/// As [`solve_opt_with`], under an arbitrary [`ConflictModel`]. The branch
+/// sets are maximal conflict-free sets *of the model's graph*; under a
+/// multi-channel model each branch seeds channel 0 and the remaining
+/// candidates fill channels `1..K` greedily, which can only add coverage
+/// (so the searched latency is an upper bound on true multi-channel OPT
+/// and collapses to exactly the single-channel search at `K = 1`).
+pub fn solve_opt_model<S: WakeSchedule, M: ConflictModel>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    model: &M,
+    config: &SearchConfig,
+    state: &mut BroadcastState,
+) -> SearchOutcome {
+    Searcher::new(topo, wake, model, config, BranchRule::MaximalSets, state).run(source)
 }
 
 /// Memo entry: either the exact remaining delay (with the chosen sender
-/// set), or a proven lower bound on it.
+/// set and its channel assignment), or a proven lower bound on it.
 enum MemoEntry {
-    Exact { rem: Slot, choice: Box<[NodeId]> },
+    Exact {
+        rem: Slot,
+        choice: Box<[NodeId]>,
+        channels: Box<[u8]>,
+    },
     LowerBound(Slot),
+}
+
+/// One branch of a state: a sender set (channel 0 under multi-channel
+/// models seeds it, packed extras carry their channel ids).
+struct Branch {
+    senders: Vec<NodeId>,
+    channels: Vec<u8>,
 }
 
 /// Sentinel budget for exhaustive mode: effectively infinite but with
@@ -429,15 +473,26 @@ impl PhaseFolder {
     }
 }
 
-struct Searcher<'a, S: WakeSchedule> {
+struct Searcher<'a, S: WakeSchedule, M: ConflictModel> {
     topo: &'a Topology,
     wake: &'a S,
+    /// The conflict model every graph, branch set and reception check of
+    /// this search runs under.
+    model: &'a M,
     config: &'a SearchConfig,
     rule: BranchRule,
     /// Memo keyed by `(interned W, phase key)` — the phase key is either
-    /// the raw `t mod period` or a folded `(level, pattern-class)` id;
-    /// both are collision-free by construction.
+    /// the raw `t mod period` or a folded `(level, pattern-class)` id,
+    /// both collision-free by construction, and both salted with the
+    /// model fingerprint (`key_salt`).
     memo: HashMap<(StateId, u64), MemoEntry>,
+    /// Model-fingerprint salt XORed into every phase key. The memo is
+    /// per-run today (one model per `Searcher`), so this is a structural
+    /// guard, not a live disambiguator: entries are regime-tagged by
+    /// construction, so a future persistent/shared memo cannot silently
+    /// mix conflict regimes. XOR by a per-run constant is a bijection —
+    /// it introduces no collisions.
+    key_salt: u64,
     /// Canonicalizes informed sets to the dense ids the memo keys on.
     interner: SetInterner,
     /// Phase-folding tables (`None` = raw phase keys only).
@@ -452,14 +507,18 @@ struct Searcher<'a, S: WakeSchedule> {
     state: &'a mut BroadcastState,
     /// Scratch for branch coverage scoring.
     score_scratch: NodeSet,
+    /// Scratch: the uninformed set of the state being branched (channel
+    /// packing reads it while the conflict graph borrows the substrate).
+    unf_scratch: NodeSet,
     stats: SearchStats,
     trace: SearchTrace,
 }
 
-impl<'a, S: WakeSchedule> Searcher<'a, S> {
+impl<'a, S: WakeSchedule, M: ConflictModel> Searcher<'a, S, M> {
     fn new(
         topo: &'a Topology,
         wake: &'a S,
+        model: &'a M,
         config: &'a SearchConfig,
         rule: BranchRule,
         state: &'a mut BroadcastState,
@@ -467,17 +526,26 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         Searcher {
             topo,
             wake,
+            model,
             config,
             rule,
             memo: HashMap::new(),
+            key_salt: model.fingerprint(),
             interner: SetInterner::new(topo.len()),
             folder: None,
             dominance: HashMap::new(),
+            // Dominance soundness rests on rem(W) being monotone in W,
+            // proven for the all-maximal-sets branch rule on ONE channel.
+            // Greedy channel packing makes per-branch coverage
+            // non-monotone in W (channels exhaust on different
+            // candidates), so K > 1 runs keep dominance off.
             use_dominance: config.dominance
                 && !config.exhaustive
-                && rule == BranchRule::MaximalSets,
+                && rule == BranchRule::MaximalSets
+                && model.channels() == 1,
             state,
             score_scratch: NodeSet::new(topo.len()),
+            unf_scratch: NodeSet::new(topo.len()),
             stats: SearchStats::default(),
             trace: SearchTrace::default(),
         }
@@ -511,14 +579,16 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             };
         }
 
-        // Seed the budget with an achievable pipeline schedule; it doubles
-        // as the fallback when the state cap aborts the search. The
-        // pipeline re-targets the shared substrate to this topology, so
-        // the search below continues from warm caches.
-        let seed = run_pipeline_with(
+        // Seed the budget with an achievable pipeline schedule under the
+        // same conflict model; it doubles as the fallback when the state
+        // cap aborts the search. The pipeline re-targets the shared
+        // substrate to this topology, so the search below continues from
+        // warm caches.
+        let seed = run_pipeline_model(
             self.topo,
             source,
             self.wake,
+            self.model,
             &mut MaxReceiversSelector,
             &PipelineConfig {
                 start_from: self.config.start_from,
@@ -570,105 +640,140 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
     }
 
     /// The branch colors of a state, most promising first. Each branch is a
-    /// conflict-free sender set among the awake candidates. The substrate
-    /// must be loaded with `(informed, t)` by the caller; one incremental
-    /// conflict-graph update serves both the greedy coloring and the
-    /// maximal-set enumeration. `dist` is the hop profile from `W` (for
+    /// conflict-free sender set among the awake candidates (under a
+    /// multi-channel model: the channel-0 seed, packed with extra-channel
+    /// senders after ordering/truncation — ordering scores the seeds, and
+    /// packing can only add coverage). The substrate must be loaded with
+    /// `(informed, t)` by the caller; one incremental conflict-graph
+    /// update serves both the greedy coloring and the maximal-set
+    /// enumeration. `dist` is the hop profile from `W` (for
     /// frontier-weighted scoring).
-    fn branches(&mut self, informed: &NodeSet, dist: &[u32]) -> Vec<Vec<NodeId>> {
-        match self.rule {
-            BranchRule::GreedyClasses => self.state.greedy_classes(self.topo),
-            BranchRule::MaximalSets => {
-                let explore_cap = self
-                    .config
-                    .branch_cap
-                    .saturating_mul(self.config.overscan.max(1) as usize);
-                let (classes, cg) = self.state.classes_and_graph(self.topo);
-                let outcome = maximal_conflict_free_sets(cg, explore_cap);
-                if outcome.truncated {
-                    self.stats.truncated_enumerations += 1;
-                }
-                let mut sets: Vec<Vec<NodeId>> = outcome
-                    .sets
-                    .iter()
-                    .map(|idxs| {
-                        let mut v: Vec<NodeId> = idxs.iter().map(|&i| cg.node(i)).collect();
-                        v.sort_unstable();
-                        v
+    fn branches(&mut self, informed: &NodeSet, dist: &[u32]) -> Vec<Branch> {
+        let sets = match self.rule {
+            BranchRule::GreedyClasses => self.state.greedy_classes_with(self.topo, self.model),
+            BranchRule::MaximalSets => self.maximal_branch_sets(informed, dist),
+        };
+        if self.model.channels() <= 1 {
+            return sets
+                .into_iter()
+                .map(|set| Branch {
+                    senders: set,
+                    channels: Vec::new(),
+                })
+                .collect();
+        }
+        // Multi-channel packing: one conflict-graph fetch (a zero-delta
+        // builder touch — the substrate is already loaded with this
+        // state) and one greedy sweep order for the whole branch list,
+        // not one per branch.
+        self.unf_scratch.copy_from(informed);
+        self.unf_scratch.invert();
+        let cg = self.state.conflict_graph_with(self.topo, self.model);
+        let order = wsn_coloring::greedy_pack_order(self.topo, cg, &self.unf_scratch);
+        sets.into_iter()
+            .map(|set| {
+                let (senders, channels) = wsn_coloring::pack_channels_ordered(
+                    self.topo,
+                    cg,
+                    &self.unf_scratch,
+                    &set,
+                    self.model.channels(),
+                    &order,
+                );
+                Branch { senders, channels }
+            })
+            .collect()
+    }
+
+    /// The OPT branch seeds: maximal conflict-free sets plus the maximal
+    /// extensions of the greedy classes, ordered and beam-truncated.
+    fn maximal_branch_sets(&mut self, informed: &NodeSet, dist: &[u32]) -> Vec<Vec<NodeId>> {
+        let explore_cap = self
+            .config
+            .branch_cap
+            .saturating_mul(self.config.overscan.max(1) as usize);
+        let (classes, cg) = self.state.classes_and_graph_with(self.topo, self.model);
+        let outcome = maximal_conflict_free_sets(cg, explore_cap);
+        if outcome.truncated {
+            self.stats.truncated_enumerations += 1;
+        }
+        let mut sets: Vec<Vec<NodeId>> = outcome
+            .sets
+            .iter()
+            .map(|idxs| {
+                let mut v: Vec<NodeId> = idxs.iter().map(|&i| cg.node(i)).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        // Guarantee OPT ⊆-dominates G-OPT: extend each greedy class
+        // to a maximal set and include it.
+        let mut extensions: Vec<Vec<NodeId>> = classes
+            .iter()
+            .map(|class| extend_to_maximal(cg, class))
+            .collect();
+        sets.extend(extensions.iter().cloned());
+        sets.sort();
+        sets.dedup();
+        match self.config.branch_order {
+            // Most new coverage first → tight budgets early.
+            BranchOrder::CoverageSum => {
+                sets.sort_by_key(|set| {
+                    std::cmp::Reverse(
+                        set.iter()
+                            .map(|&u| self.topo.neighbor_set(u).difference_len(informed))
+                            .sum::<usize>(),
+                    )
+                });
+            }
+            BranchOrder::FrontierWeighted => {
+                let scratch = &mut self.score_scratch;
+                let topo = self.topo;
+                let mut scored: Vec<(u64, Vec<NodeId>)> = sets
+                    .drain(..)
+                    .map(|set| {
+                        scratch.clear();
+                        for &u in &set {
+                            scratch.union_with(topo.neighbor_set(u));
+                        }
+                        scratch.difference_with(informed);
+                        let score: u64 = scratch.iter().map(|v| 1 + dist[v] as u64).sum();
+                        (score, set)
                     })
                     .collect();
-                // Guarantee OPT ⊆-dominates G-OPT: extend each greedy class
-                // to a maximal set and include it.
-                let mut extensions: Vec<Vec<NodeId>> = classes
-                    .iter()
-                    .map(|class| extend_to_maximal(cg, class))
-                    .collect();
-                sets.extend(extensions.iter().cloned());
-                sets.sort();
-                sets.dedup();
-                match self.config.branch_order {
-                    // Most new coverage first → tight budgets early.
-                    BranchOrder::CoverageSum => {
-                        sets.sort_by_key(|set| {
-                            std::cmp::Reverse(
-                                set.iter()
-                                    .map(|&u| self.topo.neighbor_set(u).difference_len(informed))
-                                    .sum::<usize>(),
-                            )
-                        });
-                    }
-                    BranchOrder::FrontierWeighted => {
-                        let scratch = &mut self.score_scratch;
-                        let topo = self.topo;
-                        let mut scored: Vec<(u64, Vec<NodeId>)> = sets
-                            .drain(..)
-                            .map(|set| {
-                                scratch.clear();
-                                for &u in &set {
-                                    scratch.union_with(topo.neighbor_set(u));
-                                }
-                                scratch.difference_with(informed);
-                                let score: u64 = scratch.iter().map(|v| 1 + dist[v] as u64).sum();
-                                (score, set)
-                            })
-                            .collect();
-                        if order_best_first(&mut scored, |&(score, _)| score) {
-                            self.stats.branch_reorders += 1;
-                        }
-                        sets = scored.into_iter().map(|(_, set)| set).collect();
-                    }
+                if order_best_first(&mut scored, |&(score, _)| score) {
+                    self.stats.branch_reorders += 1;
                 }
-                // Beam truncation (either ordering): only once overscan
-                // actually widened the exploration — with `overscan = 1`
-                // the enumeration cap alone bounds the list, matching the
-                // pre-fold searches bit for bit. The greedy-class
-                // extensions always survive (OPT ≤ G-OPT).
-                if outcome.truncated
-                    && self.config.overscan > 1
-                    && sets.len() > self.config.branch_cap
-                {
-                    extensions.sort();
-                    extensions.dedup();
-                    truncate_keeping(&mut sets, self.config.branch_cap, |set| {
-                        extensions.binary_search(set).is_ok()
-                    });
-                }
-                sets
+                sets = scored.into_iter().map(|(_, set)| set).collect();
             }
         }
+        // Beam truncation (either ordering): only once overscan
+        // actually widened the exploration — with `overscan = 1`
+        // the enumeration cap alone bounds the list, matching the
+        // pre-fold searches bit for bit. The greedy-class
+        // extensions always survive (OPT ≤ G-OPT).
+        if outcome.truncated && self.config.overscan > 1 && sets.len() > self.config.branch_cap {
+            extensions.sort();
+            extensions.dedup();
+            truncate_keeping(&mut sets, self.config.branch_cap, |set| {
+                extensions.binary_search(set).is_ok()
+            });
+        }
+        sets
     }
 
     /// Gathers every phase key of the state — the raw phase plus one per
     /// fold level whose pattern class already exists (lookup mode) or the
-    /// raw phase only (folding off). Returns the key count.
+    /// raw phase only (folding off). Every key is salted with the model
+    /// fingerprint. Returns the key count.
     fn lookup_keys(&mut self, informed: &NodeSet, phase: Slot, keys: &mut [u64]) -> usize {
-        keys[0] = phase;
+        keys[0] = phase ^ self.key_salt;
         let mut n = 1;
         if let Some(f) = self.folder.as_mut() {
             f.prepare(self.topo, informed);
             for li in 0..f.levels.len() {
                 if let Some(k) = f.key_at(li, phase, false) {
-                    keys[n] = k;
+                    keys[n] = k ^ self.key_salt;
                     n += 1;
                 }
             }
@@ -780,7 +885,14 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             return match sub {
                 Some(r) => {
                     // Memoize through the wait so reconstruction can replay.
-                    self.record_exact(sid, phase, informed, wait + r, Box::default());
+                    self.record_exact(
+                        sid,
+                        phase,
+                        informed,
+                        wait + r,
+                        Box::default(),
+                        Box::default(),
+                    );
                     Some(wait + r)
                 }
                 None => {
@@ -800,7 +912,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                 options: branches
                     .iter()
                     .map(|b| TraceOption {
-                        class: b.clone(),
+                        class: b.senders.clone(),
                         m_value: None,
                     })
                     .collect(),
@@ -815,12 +927,12 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         // No branch can beat the strongest known lower bound; stop the
         // loop as soon as one meets it.
         let floor = lb.max(1);
-        let mut best: Option<(Slot, Vec<NodeId>, usize)> = None;
+        let mut best: Option<(Slot, usize)> = None;
         let mut local_budget = budget;
         let mut evaluated: Vec<NodeSet> = Vec::new();
-        for (bi, senders) in branches.iter().enumerate() {
+        for (bi, branch) in branches.iter().enumerate() {
             let mut next = informed.clone();
-            for &u in senders {
+            for &u in &branch.senders {
                 next.union_with(self.topo.neighbor_set(u));
             }
             if self.use_dominance && evaluated.iter().any(|prev| next.is_subset(prev)) {
@@ -844,10 +956,10 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                     // Completion slot of this branch: t_e = t + rem − 1.
                     self.trace.states[ti].options[bi].m_value = Some(t + r - 1);
                 }
-                let better = best.as_ref().is_none_or(|(b, _, _)| r < *b);
+                let better = best.as_ref().is_none_or(|(b, _)| r < *b);
                 if better {
                     let done = r == floor;
-                    best = Some((r, senders.clone(), bi));
+                    best = Some((r, bi));
                     // Only strictly better continuations are interesting,
                     // unless exhaustive mode wants every exact value.
                     if !self.config.exhaustive {
@@ -864,11 +976,19 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         }
 
         match best {
-            Some((rem, choice, bi)) => {
+            Some((rem, bi)) => {
                 if let Some(ti) = trace_idx {
                     self.trace.states[ti].chosen = Some(bi);
                 }
-                self.record_exact(sid, phase, informed, rem, choice.into_boxed_slice());
+                let chosen = &branches[bi];
+                self.record_exact(
+                    sid,
+                    phase,
+                    informed,
+                    rem,
+                    chosen.senders.clone().into_boxed_slice(),
+                    chosen.channels.clone().into_boxed_slice(),
+                );
                 Some(rem)
             }
             None => {
@@ -887,10 +1007,17 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         informed: &NodeSet,
         rem: Slot,
         choice: Box<[NodeId]>,
+        channels: Box<[u8]>,
     ) {
         let key = self.store_key(phase, informed, |f| f.level_for_exact(rem));
-        self.memo
-            .insert((sid, key), MemoEntry::Exact { rem, choice });
+        self.memo.insert(
+            (sid, key),
+            MemoEntry::Exact {
+                rem,
+                choice,
+                channels,
+            },
+        );
         if self.use_dominance {
             let bucket = self.dominance.entry(phase).or_default();
             if bucket.len() < DOMINANCE_BUCKET_CAP {
@@ -922,14 +1049,14 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
 
     /// The phase key to store an entry under: the chosen fold level when
     /// folding is on and a level certifies the value, the raw phase
-    /// otherwise.
+    /// otherwise. Salted with the model fingerprint like every lookup key.
     fn store_key(
         &mut self,
         phase: Slot,
         informed: &NodeSet,
         pick: impl FnOnce(&PhaseFolder) -> Option<usize>,
     ) -> u64 {
-        match self.folder.as_mut() {
+        let raw = match self.folder.as_mut() {
             Some(f) => match pick(f) {
                 Some(li) => {
                     f.prepare(self.topo, informed);
@@ -939,18 +1066,29 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
                 None => phase,
             },
             None => phase,
-        }
+        };
+        raw ^ self.key_salt
     }
 
     /// The memoized exact entry of `(informed, t)`, across all phase keys.
-    fn lookup_exact(&mut self, informed: &NodeSet, t: Slot) -> Option<(Slot, Box<[NodeId]>)> {
+    #[allow(clippy::type_complexity)]
+    fn lookup_exact(
+        &mut self,
+        informed: &NodeSet,
+        t: Slot,
+    ) -> Option<(Slot, Box<[NodeId]>, Box<[u8]>)> {
         let phase = t % self.wake.period();
         let sid = self.interner.intern(informed);
         let mut keys = [0u64; MAX_FOLD_LEVELS + 1];
         let nkeys = self.lookup_keys(informed, phase, &mut keys);
         for &key in &keys[..nkeys] {
-            if let Some(MemoEntry::Exact { rem, choice }) = self.memo.get(&(sid, key)) {
-                return Some((*rem, choice.clone()));
+            if let Some(MemoEntry::Exact {
+                rem,
+                choice,
+                channels,
+            }) = self.memo.get(&(sid, key))
+            {
+                return Some((*rem, choice.clone(), channels.clone()));
             }
         }
         None
@@ -972,7 +1110,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
         let mut entries = Vec::new();
         let mut t = t_s;
         while !informed.is_full() {
-            let Some((_, entry)) = self.lookup_exact(&informed, t) else {
+            let Some((_, entry, chans)) = self.lookup_exact(&informed, t) else {
                 // The optimal path ran through a folded entry whose subtree
                 // was memoized under another phase's pattern classes;
                 // re-derive this suffix (cheap — the memo is warm) so the
@@ -1008,6 +1146,7 @@ impl<'a, S: WakeSchedule> Searcher<'a, S> {
             entries.push(ScheduleEntry {
                 slot: t,
                 senders: entry.to_vec(),
+                channels: chans.to_vec(),
             });
             t += 1;
         }
@@ -1240,6 +1379,81 @@ mod tests {
             assert!(
                 out.latency <= g.latency,
                 "seed {seed}: beam OPT above G-OPT despite kept extensions"
+            );
+        }
+    }
+
+    #[test]
+    fn multichannel_search_dissolves_conflicts() {
+        use wsn_phy::{MultiChannel, PhyModelSpec, ProtocolModel};
+        let mut extra_channels_used = false;
+        for seed in 0..3u64 {
+            let (topo, src) = deploy::SyntheticDeployment::paper(60).sample(seed);
+            let cfg = SearchConfig::default();
+            let mut state = BroadcastState::new();
+            let single =
+                solve_opt_model(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg, &mut state);
+            let ecc = crate::bounds::source_eccentricity(&topo, src) as u64;
+            for k in [2u32, 4] {
+                let model = MultiChannel::new(ProtocolModel, k);
+                let out = solve_opt_model(&topo, src, &AlwaysAwake, &model, &cfg, &mut state);
+                out.schedule
+                    .verify_with_model(&topo, &AlwaysAwake, &model)
+                    .unwrap();
+                // Packing only ever adds per-slot coverage, so when both
+                // searches are exact the K-channel optimum cannot lose to
+                // the single-channel one (every single-channel branch seed
+                // exists in the K-channel tree with ⊇ coverage).
+                if single.exact && out.exact {
+                    assert!(
+                        out.latency <= single.latency,
+                        "seed {seed}: K={k} latency {} above single-channel {}",
+                        out.latency,
+                        single.latency
+                    );
+                }
+                // The eccentricity (hop radius) is a hard floor no channel
+                // count can beat.
+                assert!(out.latency >= ecc, "seed {seed}: under the hop floor");
+                extra_channels_used |= out
+                    .schedule
+                    .entries
+                    .iter()
+                    .any(|e| e.channels.iter().any(|&c| c > 0));
+            }
+            // And the spec round-trips through the same model.
+            let spec = PhyModelSpec::protocol().with_channels(4);
+            let m = spec.build(&topo);
+            let out = solve_opt_model(&topo, src, &AlwaysAwake, &m, &cfg, &mut state);
+            out.schedule
+                .verify_with_model(&topo, &AlwaysAwake, &m)
+                .unwrap();
+        }
+        assert!(
+            extra_channels_used,
+            "no slot on any seed ever packed a second channel"
+        );
+    }
+
+    #[test]
+    fn sinr_search_verifies_under_its_model() {
+        use wsn_phy::{SinrModel, SinrParams};
+        for seed in 0..2u64 {
+            let (topo, src) = deploy::SyntheticDeployment::paper(60).sample(seed);
+            let model = SinrModel::new(SinrParams::calibrated(topo.radius(), 3.0, 1.5), &topo);
+            let cfg = SearchConfig::default();
+            let mut state = BroadcastState::new();
+            let opt = solve_opt_model(&topo, src, &AlwaysAwake, &model, &cfg, &mut state);
+            opt.schedule
+                .verify_with_model(&topo, &AlwaysAwake, &model)
+                .unwrap();
+            let gopt = solve_gopt_model(&topo, src, &AlwaysAwake, &model, &cfg, &mut state);
+            gopt.schedule
+                .verify_with_model(&topo, &AlwaysAwake, &model)
+                .unwrap();
+            assert!(
+                opt.latency <= gopt.latency,
+                "seed {seed}: SINR OPT above G-OPT"
             );
         }
     }

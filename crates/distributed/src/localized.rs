@@ -213,10 +213,7 @@ pub fn localized_broadcast_with<S: WakeSchedule>(
         informed.union_with(&advance);
 
         winners.sort_unstable();
-        entries.push(ScheduleEntry {
-            slot: t,
-            senders: winners,
-        });
+        entries.push(ScheduleEntry::new(t, winners));
         t += 1;
     }
 

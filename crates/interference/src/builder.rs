@@ -3,32 +3,48 @@
 //! The searches of `mlbs-core` build a conflict graph at *every* state, and
 //! consecutive states are near-identical: an advance shrinks the uninformed
 //! set by one coverage step and churns the candidate list by a few nodes.
-//! Rebuilding from scratch repeats `O(k²)` pairwise triple-intersections
-//! that almost all produce the answer they produced one state earlier.
+//! Rebuilding from scratch repeats `O(k²)` pairwise tests that almost all
+//! produce the answer they produced one state earlier.
 //!
-//! [`ConflictGraphBuilder`] exploits the structure of the predicate
-//! `conflict(u, v) ⇔ N(u) ∩ N(v) ∩ W̄ ≠ ∅`:
+//! [`ConflictGraphBuilder`] exploits the witness-set factorization every
+//! [`ConflictModel`] guarantees — `conflict(u, v, W̄) ⇔ wit(u, v) ∩ W̄ ≠ ∅`
+//! for a fixed, `W̄`-independent witness set `wit(u, v)` (see the DESIGN
+//! note in `wsn-phy`):
 //!
-//! * a node `d` *entering* `W̄` makes every candidate pair inside `N(d)`
-//!   conflict — edges are added directly, no test needed;
-//! * a node `d` *leaving* `W̄` can only break edges between candidates in
-//!   `N(d)` — only those few pairs are retested;
+//! * a node `d` *entering* `W̄` can only create edges on pairs whose
+//!   witness set may contain `d` — for the protocol model
+//!   ([`WitnessLocality::CommonNeighbors`]) every pair of candidates
+//!   inside `N(d)` gains an edge directly, no test needed; for
+//!   witness-checked models ([`WitnessLocality::EitherNeighborhood`],
+//!   e.g. SINR) the affected pairs have ≥ 1 endpoint in `N(d)` and `d`'s
+//!   membership in the cached witness set decides;
+//! * a node `d` *leaving* `W̄` can only break edges on the same affected
+//!   pairs — only those few pairs are retested;
 //! * pairs untouched by the delta keep their edge state verbatim, and
 //!   candidates present on both sides of a churn keep their rows (carried
 //!   over under the new indexing).
 //!
-//! On wide universes, retested pairs get their witness set `N(u) ∩ N(v)`
-//! computed once and cached for the lifetime of an instance, so a retest
-//! scans a handful of witness nodes instead of re-intersecting whole
-//! neighborhoods (below [`WITNESS_RETEST_MIN_UNIVERSE`] the fused
-//! word-parallel triple intersection is faster and the cache stays cold).
-//! Row storage, index maps and the cache are arena-style scratch owned by
-//! the builder — steady-state updates allocate little beyond first-touch
-//! witness entries.
+//! Retested pairs get their witness set computed once and cached for the
+//! lifetime of an instance, so a retest scans a handful of witness nodes
+//! instead of re-evaluating the predicate (for the protocol model below
+//! [`WITNESS_RETEST_MIN_UNIVERSE`] the fused word-parallel triple
+//! intersection is faster and the cache stays cold; SINR-style models,
+//! whose predicate costs gain arithmetic, always prefer the cache). The
+//! witness lists themselves live in one grow-only arena (`Vec<u32>`) with
+//! the map holding `(offset, len)` handles — cold population appends to a
+//! single allocation instead of boxing a slice per pair. Row storage,
+//! index maps, the witness map and arena are scratch owned by the builder;
+//! steady-state updates allocate next to nothing.
+//!
+//! Caches are keyed on both [`wsn_topology::Topology::token`] and
+//! [`ConflictModel::fingerprint`]: handing the builder a different
+//! topology *or* a different conflict regime resets it instead of mixing
+//! graphs across semantics.
 
 use crate::ConflictGraph;
 use std::collections::HashMap;
 use wsn_bitset::NodeSet;
+use wsn_phy::{ConflictModel, ProtocolModel, WitnessLocality};
 use wsn_topology::{NodeId, Topology};
 
 /// Work accounting for incremental conflict-graph maintenance.
@@ -48,8 +64,8 @@ pub struct ConflictStats {
     pub rows_built: usize,
     /// Rows carried across an update and patched by delta.
     pub rows_reused: usize,
-    /// Pairwise conflict evaluations performed (fused triple
-    /// intersections for fresh pairs, witness scans for retests).
+    /// Pairwise conflict evaluations performed (fused predicate calls for
+    /// fresh pairs, witness scans for retests and membership checks).
     pub pair_tests: usize,
 }
 
@@ -77,14 +93,17 @@ const NO_SLOT: u32 = u32::MAX;
 /// [`ConflictGraphBuilder::set_witness_retest_min_universe`]; the
 /// `witness_threshold` group in the `substrates` bench measures both sides
 /// of the crossover so this constant can be re-derived instead of trusted.
+/// Models with [`ConflictModel::prefers_witness_cache`] (SINR) bypass the
+/// threshold: their predicate is always costlier than a witness scan.
 pub const WITNESS_RETEST_MIN_UNIVERSE: usize = 1024;
 
 /// Reusable, incrementally-updated [`ConflictGraph`] factory.
 ///
-/// One builder serves one topology between [`ConflictGraphBuilder::reset`]
-/// calls; [`ConflictGraphBuilder::update`] produces a graph that is
-/// bit-identical to [`ConflictGraph::build`] on the same inputs (the
-/// workspace proptests assert this under random delta sequences).
+/// One builder serves one `(topology, model)` pair between
+/// [`ConflictGraphBuilder::reset`] calls; [`ConflictGraphBuilder::update`]
+/// (protocol model) and [`ConflictGraphBuilder::update_with`] (any model)
+/// produce graphs bit-identical to from-scratch builds on the same inputs
+/// (the workspace proptests assert this under random delta sequences).
 #[derive(Clone, Debug)]
 pub struct ConflictGraphBuilder {
     graph: ConflictGraph,
@@ -100,10 +119,22 @@ pub struct ConflictGraphBuilder {
     prev_rows: Vec<NodeSet>,
     /// Back buffer for the candidate list during re-indexing.
     prev_candidates: Vec<NodeId>,
-    /// Cached witness sets `N(u) ∩ N(v)`, keyed by packed node-id pair.
-    witness: HashMap<u64, Box<[u32]>>,
+    /// Cached witness sets, keyed by packed node-id pair; values are
+    /// `(offset, len)` handles into the arena.
+    witness: HashMap<u64, (u32, u32)>,
+    /// Arena backing every cached witness list — one grow-only allocation
+    /// instead of a boxed slice per pair.
+    warena: Vec<u32>,
+    /// Scratch: witness collection buffer.
+    wbuf: Vec<u32>,
     /// Scratch: candidate slots adjacent to one changed node.
     adj_slots: Vec<u32>,
+    /// Scratch marker over candidate slots (pair dedup in the
+    /// either-neighborhood delta paths).
+    adj_mark: NodeSet,
+    /// Scratch: new-indexing slots of kept candidates (either-neighborhood
+    /// reindex).
+    kept_slots: Vec<u32>,
     /// Scratch: nodes that left W̄ since the previous update.
     removed_buf: Vec<u32>,
     /// Scratch: nodes that entered W̄ since the previous update.
@@ -111,6 +142,10 @@ pub struct ConflictGraphBuilder {
     /// [`Topology::token`] of the topology the cached state belongs to
     /// (0 = none). A different token forces a reset even at equal size.
     topo_token: u64,
+    /// [`ConflictModel::fingerprint`] of the model the cached state
+    /// belongs to (0 = none). A different model forces a reset, so graphs
+    /// and witness caches never mix conflict regimes.
+    model_fp: u64,
     universe: usize,
     /// Universe size at which retests switch to cached witness scans.
     witness_min_universe: usize,
@@ -139,18 +174,23 @@ impl ConflictGraphBuilder {
             prev_rows: Vec::new(),
             prev_candidates: Vec::new(),
             witness: HashMap::new(),
+            warena: Vec::new(),
+            wbuf: Vec::new(),
             adj_slots: Vec::new(),
+            adj_mark: NodeSet::new(0),
+            kept_slots: Vec::new(),
             removed_buf: Vec::new(),
             added_buf: Vec::new(),
             topo_token: 0,
+            model_fp: 0,
             universe: 0,
             witness_min_universe: WITNESS_RETEST_MIN_UNIVERSE,
             stats: ConflictStats::default(),
         }
     }
 
-    /// The universe size at which retests switch from fused triple
-    /// intersections to cached witness scans
+    /// The universe size at which retests switch from fused predicate
+    /// calls to cached witness scans
     /// ([`WITNESS_RETEST_MIN_UNIVERSE`] by default).
     #[inline]
     pub fn witness_retest_min_universe(&self) -> usize {
@@ -167,13 +207,15 @@ impl ConflictGraphBuilder {
     }
 
     /// Invalidates all cached state and re-sizes for a universe of `n`
-    /// nodes, keeping allocations. [`ConflictGraphBuilder::update`] calls
-    /// this automatically whenever it sees a different [`Topology::token`],
-    /// so switching topologies is safe without manual resets; call it
-    /// yourself to drop caches early.
+    /// nodes, keeping allocations. [`ConflictGraphBuilder::update_with`]
+    /// calls this automatically whenever it sees a different
+    /// [`Topology::token`] or model fingerprint, so switching topologies or
+    /// regimes is safe without manual resets; call it yourself to drop
+    /// caches early.
     pub fn reset(&mut self, n: usize) {
         self.valid = false;
         self.topo_token = 0;
+        self.model_fp = 0;
         self.universe = n;
         self.uninformed.reset(n);
         self.slot_of.clear();
@@ -181,6 +223,7 @@ impl ConflictGraphBuilder {
         self.slot_next.clear();
         self.slot_next.resize(n, NO_SLOT);
         self.witness.clear();
+        self.warena.clear();
         self.graph.candidates.clear();
         self.graph.rows.clear();
         self.graph.by_id.clear();
@@ -199,10 +242,9 @@ impl ConflictGraphBuilder {
         &self.graph
     }
 
-    /// Produces the conflict graph of `candidates` against `uninformed`,
-    /// reusing as much of the previous graph as the delta allows.
-    ///
-    /// Row indices match `candidates` order exactly, as with
+    /// Produces the protocol-model conflict graph of `candidates` against
+    /// `uninformed`, reusing as much of the previous graph as the delta
+    /// allows. Row indices match `candidates` order exactly, as with
     /// [`ConflictGraph::build`].
     pub fn update(
         &mut self,
@@ -210,33 +252,55 @@ impl ConflictGraphBuilder {
         candidates: &[NodeId],
         uninformed: &NodeSet,
     ) -> &ConflictGraph {
+        self.update_with(&ProtocolModel, topo, candidates, uninformed)
+    }
+
+    /// As [`ConflictGraphBuilder::update`], under an arbitrary
+    /// [`ConflictModel`]. The default protocol model takes exactly the
+    /// pre-model code paths (pinned by the substrate regression tests).
+    pub fn update_with<M: ConflictModel>(
+        &mut self,
+        model: &M,
+        topo: &Topology,
+        candidates: &[NodeId],
+        uninformed: &NodeSet,
+    ) -> &ConflictGraph {
         let n = topo.len();
         debug_assert_eq!(uninformed.universe(), n);
-        if n != self.universe || topo.token() != self.topo_token {
+        let fp = model.fingerprint();
+        if n != self.universe || topo.token() != self.topo_token || fp != self.model_fp {
             self.reset(n);
             self.topo_token = topo.token();
+            self.model_fp = fp;
         }
         // Cost model: patching visits the candidate-neighborhood of every
         // changed node (`avg_deg` slot lookups each) and then retests the
-        // pairs inside it — quadratic in the expected number of candidates
-        // adjacent to a changed node (`deg · k/n` under uniform density).
-        // A full build runs `k(k−1)/2` fused pair tests. Prefer the delta
-        // exactly when it is the cheaper side: sibling states and
-        // late-broadcast advances (small `changed`, large `k`) patch;
-        // early wide advances rebuild.
+        // affected pairs — for common-neighbor witnesses that is quadratic
+        // in the expected number of candidates adjacent to a changed node
+        // (`deg · k/n` under uniform density); for either-neighborhood
+        // witnesses each adjacent candidate pairs with the whole list. A
+        // full build runs `k(k−1)/2` pair tests. Prefer the delta exactly
+        // when it is the cheaper side: sibling states and late-broadcast
+        // advances (small `changed`, large `k`) patch; early wide advances
+        // rebuild. This is the fallback-to-full-re-sum rule of the
+        // `wsn-phy` DESIGN note.
         let k = candidates.len();
         let n_f = n.max(1) as f64;
         let changed = self.changed_count(uninformed) as f64;
         let avg_deg = topo.average_degree();
         let est_c = avg_deg * (k as f64 / n_f).min(1.0);
-        let delta_cost = changed * (1.0 + avg_deg + est_c * est_c / 2.0);
+        let per_changed = match model.locality() {
+            WitnessLocality::CommonNeighbors => 1.0 + avg_deg + est_c * est_c / 2.0,
+            WitnessLocality::EitherNeighborhood => 1.0 + avg_deg + est_c * k as f64,
+        };
+        let delta_cost = changed * per_changed;
         let full_cost = (k + k * k.saturating_sub(1) / 2) as f64;
         if !self.valid || delta_cost > full_cost {
-            self.full_build(topo, candidates, uninformed);
+            self.full_build(model, topo, candidates, uninformed);
         } else if candidates == self.graph.candidates.as_slice() {
-            self.patch_in_place(topo, uninformed);
+            self.patch_in_place(model, topo, uninformed);
         } else {
-            self.reindex(topo, candidates, uninformed);
+            self.reindex(model, topo, candidates, uninformed);
         }
         self.uninformed.copy_from(uninformed);
         self.valid = true;
@@ -253,52 +317,100 @@ impl ConflictGraphBuilder {
             .sum()
     }
 
-    /// Evaluates the conflict predicate for one pair directly — one fused
-    /// word-parallel triple intersection, the right tool for *fresh* pairs
-    /// (full builds, newcomer rows) where no delta knowledge exists.
-    fn pair_conflicts_fresh(
+    /// Evaluates the conflict predicate for one *fresh* pair (full builds,
+    /// newcomer rows). Models that prefer the witness cache evaluate
+    /// through it — the expensive predicate arithmetic runs once per pair
+    /// per instance — everyone else calls the fused predicate directly.
+    fn pair_conflicts_fresh<M: ConflictModel>(
         &mut self,
+        model: &M,
         topo: &Topology,
         u: NodeId,
         v: NodeId,
         unf: &NodeSet,
     ) -> bool {
         self.stats.pair_tests += 1;
-        crate::conflicts(topo, u, v, unf)
+        if model.prefers_witness_cache() {
+            let (off, len) = self.witness_range(model, topo, u, v);
+            self.warena[off..off + len]
+                .iter()
+                .any(|&x| unf.contains(x as usize))
+        } else {
+            model.conflicts(topo, u, v, unf)
+        }
     }
 
     /// Retests a pair whose edge state may have changed. On wide universes
-    /// the cached witness set `N(u) ∩ N(v)` pays: the same pairs are
-    /// retested over and over as witnesses drain out of `W̄`, and scanning
-    /// a handful of cached witness nodes beats re-intersecting full-width
-    /// word rows. Below the threshold the fused triple intersection is a
-    /// few words long and wins outright (measured on the paper grid), so
-    /// the cache stays cold there.
-    fn pair_retest(&mut self, topo: &Topology, u: NodeId, v: NodeId, unf: &NodeSet) -> bool {
-        if self.universe < self.witness_min_universe {
-            return self.pair_conflicts_fresh(topo, u, v, unf);
+    /// (or always, for cache-preferring models) the cached witness set
+    /// pays: the same pairs are retested over and over as witnesses drain
+    /// out of `W̄`, and scanning a handful of cached witness nodes beats
+    /// re-evaluating the predicate. Below the threshold the fused
+    /// predicate is a few words long and wins outright (measured on the
+    /// paper grid), so the cache stays cold there.
+    fn pair_retest<M: ConflictModel>(
+        &mut self,
+        model: &M,
+        topo: &Topology,
+        u: NodeId,
+        v: NodeId,
+        unf: &NodeSet,
+    ) -> bool {
+        if !model.prefers_witness_cache() && self.universe < self.witness_min_universe {
+            return self.pair_conflicts_fresh(model, topo, u, v, unf);
         }
-        let key = pack_pair(u, v);
-        let w = self.witness.entry(key).or_insert_with(|| {
-            let nu = topo.neighbor_set(u);
-            let nv = topo.neighbor_set(v);
-            if !nu.intersects(nv) {
-                Box::default()
-            } else {
-                nu.intersection(nv)
-                    .iter()
-                    .map(|x| x as u32)
-                    .collect::<Vec<u32>>()
-                    .into_boxed_slice()
-            }
-        });
-        let hit = w.iter().any(|&x| unf.contains(x as usize));
+        let (off, len) = self.witness_range(model, topo, u, v);
         self.stats.pair_tests += 1;
-        hit
+        self.warena[off..off + len]
+            .iter()
+            .any(|&x| unf.contains(x as usize))
+    }
+
+    /// The arena span of the pair's cached witness set, computing and
+    /// appending it on first touch.
+    fn witness_range<M: ConflictModel>(
+        &mut self,
+        model: &M,
+        topo: &Topology,
+        u: NodeId,
+        v: NodeId,
+    ) -> (usize, usize) {
+        let key = pack_pair(u, v);
+        if let Some(&(off, len)) = self.witness.get(&key) {
+            return (off as usize, len as usize);
+        }
+        let mut wbuf = std::mem::take(&mut self.wbuf);
+        model.collect_witnesses(topo, u, v, &mut wbuf);
+        let off = self.warena.len();
+        let len = wbuf.len();
+        self.warena.extend_from_slice(&wbuf);
+        self.witness.insert(key, (off as u32, len as u32));
+        self.wbuf = wbuf;
+        (off, len)
+    }
+
+    /// `true` when node `d` belongs to the pair's witness set (witness
+    /// lists are sorted ascending by contract).
+    fn witness_contains<M: ConflictModel>(
+        &mut self,
+        model: &M,
+        topo: &Topology,
+        u: NodeId,
+        v: NodeId,
+        d: u32,
+    ) -> bool {
+        self.stats.pair_tests += 1;
+        let (off, len) = self.witness_range(model, topo, u, v);
+        self.warena[off..off + len].binary_search(&d).is_ok()
     }
 
     /// From-scratch build into the reused row arena.
-    fn full_build(&mut self, topo: &Topology, candidates: &[NodeId], unf: &NodeSet) {
+    fn full_build<M: ConflictModel>(
+        &mut self,
+        model: &M,
+        topo: &Topology,
+        candidates: &[NodeId],
+        unf: &NodeSet,
+    ) {
         let k = candidates.len();
         self.clear_slots();
         self.graph.candidates.clear();
@@ -309,7 +421,7 @@ impl ConflictGraphBuilder {
         prepare_rows(&mut self.graph.rows, k);
         for i in 0..k {
             for j in (i + 1)..k {
-                if self.pair_conflicts_fresh(topo, candidates[i], candidates[j], unf) {
+                if self.pair_conflicts_fresh(model, topo, candidates[i], candidates[j], unf) {
                     self.graph.rows[i].insert(j);
                     self.graph.rows[j].insert(i);
                 }
@@ -341,38 +453,59 @@ impl ConflictGraphBuilder {
     }
 
     /// Same candidates, different uninformed set: patch rows in place.
-    fn patch_in_place(&mut self, topo: &Topology, unf: &NodeSet) {
+    fn patch_in_place<M: ConflictModel>(&mut self, model: &M, topo: &Topology, unf: &NodeSet) {
         let k = self.graph.candidates.len();
         self.split_delta(unf);
-        // Nodes that left W̄ can only break edges among their neighbors.
-        for di in 0..self.removed_buf.len() {
-            let d = self.removed_buf[di] as usize;
-            self.collect_adjacent_slots(topo, d);
-            for a_pos in 0..self.adj_slots.len() {
-                let a = self.adj_slots[a_pos] as usize;
-                for b_pos in (a_pos + 1)..self.adj_slots.len() {
-                    let b = self.adj_slots[b_pos] as usize;
-                    if self.graph.rows[a].contains(b) {
-                        let (u, v) = (self.graph.candidates[a], self.graph.candidates[b]);
-                        if !self.pair_retest(topo, u, v, unf) {
-                            self.graph.rows[a].remove(b);
-                            self.graph.rows[b].remove(a);
+        match model.locality() {
+            WitnessLocality::CommonNeighbors => {
+                // Nodes that left W̄ can only break edges among their
+                // neighbors.
+                for di in 0..self.removed_buf.len() {
+                    let d = self.removed_buf[di] as usize;
+                    self.collect_adjacent_slots(topo, d);
+                    for a_pos in 0..self.adj_slots.len() {
+                        let a = self.adj_slots[a_pos] as usize;
+                        for b_pos in (a_pos + 1)..self.adj_slots.len() {
+                            let b = self.adj_slots[b_pos] as usize;
+                            if self.graph.rows[a].contains(b) {
+                                let (u, v) = (self.graph.candidates[a], self.graph.candidates[b]);
+                                if !self.pair_retest(model, topo, u, v, unf) {
+                                    self.graph.rows[a].remove(b);
+                                    self.graph.rows[b].remove(a);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Nodes that entered W̄ are themselves fresh witnesses:
+                // every candidate pair hearing them now conflicts, no test
+                // needed.
+                for di in 0..self.added_buf.len() {
+                    let d = self.added_buf[di] as usize;
+                    self.collect_adjacent_slots(topo, d);
+                    for a_pos in 0..self.adj_slots.len() {
+                        let a = self.adj_slots[a_pos] as usize;
+                        for b_pos in (a_pos + 1)..self.adj_slots.len() {
+                            let b = self.adj_slots[b_pos] as usize;
+                            self.graph.rows[a].insert(b);
+                            self.graph.rows[b].insert(a);
                         }
                     }
                 }
             }
-        }
-        // Nodes that entered W̄ are themselves fresh witnesses: every
-        // candidate pair hearing them now conflicts, no test needed.
-        for di in 0..self.added_buf.len() {
-            let d = self.added_buf[di] as usize;
-            self.collect_adjacent_slots(topo, d);
-            for a_pos in 0..self.adj_slots.len() {
-                let a = self.adj_slots[a_pos] as usize;
-                for b_pos in (a_pos + 1)..self.adj_slots.len() {
-                    let b = self.adj_slots[b_pos] as usize;
-                    self.graph.rows[a].insert(b);
-                    self.graph.rows[b].insert(a);
+            WitnessLocality::EitherNeighborhood => {
+                // Affected pairs have ≥ 1 endpoint adjacent to the changed
+                // node; a changed node's witness-ness is decided per pair
+                // from the cached witness set.
+                for di in 0..self.removed_buf.len() {
+                    let d = self.removed_buf[di];
+                    self.collect_adjacent_slots(topo, d as usize);
+                    self.patch_either_pairs(model, topo, unf, k, d, false, false);
+                }
+                for di in 0..self.added_buf.len() {
+                    let d = self.added_buf[di];
+                    self.collect_adjacent_slots(topo, d as usize);
+                    self.patch_either_pairs(model, topo, unf, k, d, true, false);
                 }
             }
         }
@@ -380,10 +513,66 @@ impl ConflictGraphBuilder {
         self.stats.rows_reused += k;
     }
 
+    /// Either-neighborhood delta step for one changed node `d`: walk every
+    /// pair with ≥ 1 endpoint in `adj_slots` (deduplicated when both
+    /// endpoints are adjacent). The inner endpoint ranges over all `k`
+    /// current slots, or — mid-reindex, with `kept_only` — over
+    /// `kept_slots` (newcomer pairs are tested fresh separately). `adding`
+    /// decides the direction: an entering witness can only create edges
+    /// (cached membership check), a leaving one can only break them
+    /// (retest against the new `W̄`).
+    #[allow(clippy::too_many_arguments)]
+    fn patch_either_pairs<M: ConflictModel>(
+        &mut self,
+        model: &M,
+        topo: &Topology,
+        unf: &NodeSet,
+        k: usize,
+        d: u32,
+        adding: bool,
+        kept_only: bool,
+    ) {
+        self.adj_mark.reset(k);
+        for pos in 0..self.adj_slots.len() {
+            self.adj_mark.insert(self.adj_slots[pos] as usize);
+        }
+        let inner_len = if kept_only { self.kept_slots.len() } else { k };
+        for pos in 0..self.adj_slots.len() {
+            let a = self.adj_slots[pos] as usize;
+            for bi in 0..inner_len {
+                let b = if kept_only {
+                    self.kept_slots[bi] as usize
+                } else {
+                    bi
+                };
+                if b == a || (self.adj_mark.contains(b) && b < a) {
+                    continue;
+                }
+                let has_edge = self.graph.rows[a].contains(b);
+                let (u, v) = (self.graph.candidates[a], self.graph.candidates[b]);
+                if adding {
+                    if !has_edge && self.witness_contains(model, topo, u, v, d) {
+                        self.graph.rows[a].insert(b);
+                        self.graph.rows[b].insert(a);
+                    }
+                } else if has_edge && !self.pair_retest(model, topo, u, v, unf) {
+                    self.graph.rows[a].remove(b);
+                    self.graph.rows[b].remove(a);
+                }
+            }
+        }
+    }
+
     /// Candidate list changed: carry rows of kept candidates into the new
     /// indexing, patch them for the uninformed delta, and build fresh rows
     /// only for newcomers.
-    fn reindex(&mut self, topo: &Topology, candidates: &[NodeId], unf: &NodeSet) {
+    fn reindex<M: ConflictModel>(
+        &mut self,
+        model: &M,
+        topo: &Topology,
+        candidates: &[NodeId],
+        unf: &NodeSet,
+    ) {
         let k = candidates.len();
         for (i, &u) in candidates.iter().enumerate() {
             self.slot_next[u.idx()] = i as u32;
@@ -397,7 +586,7 @@ impl ConflictGraphBuilder {
             for &u in candidates {
                 self.slot_next[u.idx()] = NO_SLOT;
             }
-            self.full_build(topo, candidates, unf);
+            self.full_build(model, topo, candidates, unf);
             return;
         }
 
@@ -428,32 +617,54 @@ impl ConflictGraphBuilder {
         // Patch kept-kept pairs for the uninformed delta (newcomer pairs
         // are tested fresh below, against the new set directly).
         self.split_delta(unf);
-        for di in 0..self.removed_buf.len() {
-            let d = self.removed_buf[di] as usize;
-            self.collect_adjacent_kept_slots(topo, d);
-            for a_pos in 0..self.adj_slots.len() {
-                let a = self.adj_slots[a_pos] as usize;
-                for b_pos in (a_pos + 1)..self.adj_slots.len() {
-                    let b = self.adj_slots[b_pos] as usize;
-                    if self.graph.rows[a].contains(b) {
-                        let (u, v) = (self.graph.candidates[a], self.graph.candidates[b]);
-                        if !self.pair_retest(topo, u, v, unf) {
-                            self.graph.rows[a].remove(b);
-                            self.graph.rows[b].remove(a);
+        match model.locality() {
+            WitnessLocality::CommonNeighbors => {
+                for di in 0..self.removed_buf.len() {
+                    let d = self.removed_buf[di] as usize;
+                    self.collect_adjacent_kept_slots(topo, d);
+                    for a_pos in 0..self.adj_slots.len() {
+                        let a = self.adj_slots[a_pos] as usize;
+                        for b_pos in (a_pos + 1)..self.adj_slots.len() {
+                            let b = self.adj_slots[b_pos] as usize;
+                            if self.graph.rows[a].contains(b) {
+                                let (u, v) = (self.graph.candidates[a], self.graph.candidates[b]);
+                                if !self.pair_retest(model, topo, u, v, unf) {
+                                    self.graph.rows[a].remove(b);
+                                    self.graph.rows[b].remove(a);
+                                }
+                            }
+                        }
+                    }
+                }
+                for di in 0..self.added_buf.len() {
+                    let d = self.added_buf[di] as usize;
+                    self.collect_adjacent_kept_slots(topo, d);
+                    for a_pos in 0..self.adj_slots.len() {
+                        let a = self.adj_slots[a_pos] as usize;
+                        for b_pos in (a_pos + 1)..self.adj_slots.len() {
+                            let b = self.adj_slots[b_pos] as usize;
+                            self.graph.rows[a].insert(b);
+                            self.graph.rows[b].insert(a);
                         }
                     }
                 }
             }
-        }
-        for di in 0..self.added_buf.len() {
-            let d = self.added_buf[di] as usize;
-            self.collect_adjacent_kept_slots(topo, d);
-            for a_pos in 0..self.adj_slots.len() {
-                let a = self.adj_slots[a_pos] as usize;
-                for b_pos in (a_pos + 1)..self.adj_slots.len() {
-                    let b = self.adj_slots[b_pos] as usize;
-                    self.graph.rows[a].insert(b);
-                    self.graph.rows[b].insert(a);
+            WitnessLocality::EitherNeighborhood => {
+                self.kept_slots.clear();
+                for (i, &u) in candidates.iter().enumerate() {
+                    if self.slot_of[u.idx()] != NO_SLOT {
+                        self.kept_slots.push(i as u32);
+                    }
+                }
+                for di in 0..self.removed_buf.len() {
+                    let d = self.removed_buf[di];
+                    self.collect_adjacent_kept_slots(topo, d as usize);
+                    self.patch_either_pairs(model, topo, unf, k, d, false, true);
+                }
+                for di in 0..self.added_buf.len() {
+                    let d = self.added_buf[di];
+                    self.collect_adjacent_kept_slots(topo, d as usize);
+                    self.patch_either_pairs(model, topo, unf, k, d, true, true);
                 }
             }
         }
@@ -468,7 +679,7 @@ impl ConflictGraphBuilder {
                 if b == a || (self.slot_of[v.idx()] == NO_SLOT && b < a) {
                     continue; // self, or newcomer pair already tested
                 }
-                if self.pair_conflicts_fresh(topo, u, v, unf) {
+                if self.pair_conflicts_fresh(model, topo, u, v, unf) {
                     self.graph.rows[a].insert(b);
                     self.graph.rows[b].insert(a);
                 }
@@ -543,6 +754,7 @@ fn prepare_rows(rows: &mut Vec<NodeSet>, k: usize) {
 mod tests {
     use super::*;
     use wsn_geom::Point;
+    use wsn_phy::{SinrModel, SinrParams};
     use wsn_topology::Topology;
 
     fn line(n: usize) -> Topology {
@@ -655,6 +867,68 @@ mod tests {
     }
 
     #[test]
+    fn model_swap_auto_resets() {
+        // Same topology, different conflict regime: the model fingerprint
+        // must invalidate the cached graph and witness sets.
+        let t = line(10);
+        let cands: Vec<NodeId> = (2..8).map(|i| NodeId(i as u32)).collect();
+        let sinr = SinrModel::new(SinrParams::calibrated(t.radius(), 3.0, 1.5), &t);
+        let mut b = ConflictGraphBuilder::new();
+        let mut unf = NodeSet::full(10);
+        unf.remove(3);
+        b.update(&t, &cands, &unf);
+        assert_graphs_equal(
+            b.update_with(&sinr, &t, &cands, &unf),
+            &ConflictGraph::build_with_model(&sinr, &t, &cands, &unf),
+        );
+        // And back to the protocol model.
+        assert_graphs_equal(
+            b.update(&t, &cands, &unf),
+            &ConflictGraph::build(&t, &cands, &unf),
+        );
+    }
+
+    #[test]
+    fn sinr_delta_matches_scratch_on_shrink_and_growback() {
+        let t = line(14);
+        let cands: Vec<NodeId> = (0..7).map(|i| NodeId(i as u32 * 2)).collect();
+        let m = SinrModel::new(SinrParams::calibrated(t.radius(), 3.0, 1.5), &t);
+        let mut b = ConflictGraphBuilder::new();
+        let mut unf = NodeSet::full(14);
+        for informed in 0..10usize {
+            unf.remove(informed);
+            let scratch = ConflictGraph::build_with_model(&m, &t, &cands, &unf);
+            assert_graphs_equal(b.update_with(&m, &t, &cands, &unf), &scratch);
+        }
+        for i in 5..10usize {
+            unf.insert(i); // backtrack
+        }
+        let scratch = ConflictGraph::build_with_model(&m, &t, &cands, &unf);
+        assert_graphs_equal(b.update_with(&m, &t, &cands, &unf), &scratch);
+        assert!(b.stats().delta_updates > 0, "SINR delta path exercised");
+    }
+
+    #[test]
+    fn sinr_delta_matches_scratch_on_candidate_churn() {
+        let t = line(16);
+        let m = SinrModel::new(SinrParams::calibrated(t.radius(), 3.0, 1.5), &t);
+        let mut b = ConflictGraphBuilder::new();
+        let mut unf = NodeSet::full(16);
+        unf.remove(0);
+        unf.remove(1);
+        let lists: Vec<Vec<NodeId>> = vec![
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(0), NodeId(2), NodeId(3), NodeId(4)],
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5), NodeId(6)],
+        ];
+        for (step, cands) in lists.iter().enumerate() {
+            unf.remove(step + 2);
+            let scratch = ConflictGraph::build_with_model(&m, &t, cands, &unf);
+            assert_graphs_equal(b.update_with(&m, &t, cands, &unf), &scratch);
+        }
+    }
+
+    #[test]
     fn witness_retest_path_matches_scratch_on_wide_universe() {
         // Above WITNESS_RETEST_MIN_UNIVERSE retests run through the cached
         // witness sets; walk a shrink sequence on a 1100-node line and
@@ -717,5 +991,31 @@ mod tests {
         assert_eq!(s.delta_updates, 1);
         assert_eq!(s.rows_built, 6);
         assert_eq!(s.rows_reused, 6);
+    }
+
+    #[test]
+    fn witness_arena_grows_once_per_pair() {
+        // The arena-backed cache: retesting the same pairs over and over
+        // must not grow the arena after first touch.
+        let t = line(40);
+        let cands: Vec<NodeId> = (10..30).map(|i| NodeId(i as u32)).collect();
+        let mut b = ConflictGraphBuilder::new();
+        b.set_witness_retest_min_universe(0); // force the cache on
+        let mut unf = NodeSet::full(40);
+        b.update(&t, &cands, &unf);
+        unf.remove(15);
+        b.update(&t, &cands, &unf);
+        let (pairs, arena) = (b.witness.len(), b.warena.len());
+        assert!(pairs > 0, "cache populated");
+        for step in 0..6usize {
+            unf.remove(16 + step);
+            unf.insert(15 + step); // churn back and forth over the same pairs
+            b.update(&t, &cands, &unf);
+        }
+        assert!(b.witness.len() >= pairs);
+        // Every arena entry is owned by exactly one map handle.
+        let spanned: usize = b.witness.values().map(|&(_, l)| l as usize).sum();
+        assert_eq!(spanned, b.warena.len());
+        assert!(b.warena.len() >= arena);
     }
 }

@@ -16,12 +16,23 @@
 //! * [`resolve_receptions`] — receiver-side collision resolution for
 //!   simulating *unscheduled* protocols (e.g. naive flooding, where the
 //!   broadcast storm of reference \[17\] shows up as collisions).
+//!
+//! Since the `wsn-phy` crate landed, the conflict *semantics* are
+//! pluggable: [`ConflictGraphBuilder::update_with`] and
+//! [`ConflictGraph::build_with_model`] accept any
+//! [`wsn_phy::ConflictModel`] (protocol, pairwise SINR, K-channel
+//! wrappers), maintaining graphs incrementally through the model's
+//! witness-set factorization. The free functions here remain the protocol
+//! model's fast paths and the `update`/`build` entry points are pinned to
+//! them bit for bit.
 
 mod builder;
 
 pub use builder::{ConflictGraphBuilder, ConflictStats, WITNESS_RETEST_MIN_UNIVERSE};
+pub use wsn_phy::ReceptionOutcome;
 
 use wsn_bitset::NodeSet;
+use wsn_phy::ConflictModel;
 use wsn_topology::{NodeId, Topology};
 
 /// `true` when concurrent transmissions by `u` and `v` would collide at
@@ -54,11 +65,23 @@ impl ConflictGraph {
     /// graphs per search state should prefer a reused
     /// [`ConflictGraphBuilder`] instead.
     pub fn build(topo: &Topology, candidates: &[NodeId], uninformed: &NodeSet) -> Self {
+        Self::build_with_model(&wsn_phy::ProtocolModel, topo, candidates, uninformed)
+    }
+
+    /// As [`ConflictGraph::build`], under an arbitrary conflict model.
+    /// One-shot; hot loops should prefer
+    /// [`ConflictGraphBuilder::update_with`].
+    pub fn build_with_model<M: ConflictModel>(
+        model: &M,
+        topo: &Topology,
+        candidates: &[NodeId],
+        uninformed: &NodeSet,
+    ) -> Self {
         let k = candidates.len();
         let mut rows = vec![NodeSet::new(k); k];
         for i in 0..k {
             for j in (i + 1)..k {
-                if conflicts(topo, candidates[i], candidates[j], uninformed) {
+                if model.conflicts(topo, candidates[i], candidates[j], uninformed) {
                     rows[i].insert(j);
                     rows[j].insert(i);
                 }
@@ -143,50 +166,23 @@ impl ConflictGraph {
     }
 }
 
-/// Outcome of one slot of concurrent transmissions under receiver-side
-/// collision resolution.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ReceptionOutcome {
-    /// Uninformed nodes that heard exactly one sender and received the
-    /// message.
-    pub received: NodeSet,
-    /// Uninformed nodes that heard two or more senders simultaneously and
-    /// lost the message to a collision.
-    pub collided: NodeSet,
-}
-
 /// Resolves which uninformed nodes receive when all of `senders` transmit
-/// concurrently: a node receives iff exactly one of its neighbors is
-/// sending; two or more produce a collision (the broadcast-storm failure
-/// mode of \[17\]).
+/// concurrently under the *protocol model*: a node receives iff exactly
+/// one of its neighbors is sending; two or more produce a collision (the
+/// broadcast-storm failure mode of \[17\]).
 ///
 /// Scheduled protocols never produce collisions (their sender sets are
 /// conflict-free by construction — the schedule verifier asserts it); this
 /// function exists to *simulate* unscheduled protocols and to double-check
-/// schedules independently of the predicate used to build them.
+/// schedules independently of the predicate used to build them. Other
+/// conflict regimes resolve through their model's
+/// [`wsn_phy::ConflictModel::resolve_receptions`].
 pub fn resolve_receptions(
     topo: &Topology,
     senders: &NodeSet,
     uninformed: &NodeSet,
 ) -> ReceptionOutcome {
-    let n = topo.len();
-    let mut received = NodeSet::new(n);
-    let mut collided = NodeSet::new(n);
-    for w in uninformed.iter() {
-        let heard = topo
-            .neighbor_set(NodeId(w as u32))
-            .intersection_len(senders);
-        match heard {
-            0 => {}
-            1 => {
-                received.insert(w);
-            }
-            _ => {
-                collided.insert(w);
-            }
-        }
-    }
-    ReceptionOutcome { received, collided }
+    wsn_phy::ProtocolModel.resolve_receptions(topo, senders, uninformed)
 }
 
 #[cfg(test)]

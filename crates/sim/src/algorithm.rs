@@ -1,11 +1,12 @@
 //! The unified scheduler registry and single-instance runner.
 
 use mlbs_core::{
-    bounds, run_pipeline_with, solve_gopt_with, solve_opt_with, BroadcastState, EModel,
+    bounds, run_pipeline_model, solve_gopt_model, solve_opt_model, BroadcastState, EModel,
     EModelSelector, MaxReceiversSelector, PipelineConfig, SearchConfig,
 };
 use wsn_baselines::{schedule_cds_layered, schedule_layered_with, LayeredMode};
 use wsn_dutycycle::{AlwaysAwake, Slot, WakeSchedule, WindowedRandom};
+use wsn_phy::{PhyModel, PhyModelSpec};
 use wsn_topology::{NodeId, Topology};
 
 /// Timing regime of a run.
@@ -58,6 +59,20 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// `true` when the scheduler is conflict-model-aware: it colors on the
+    /// instance's [`PhyModel`] conflict graph and packs channels under
+    /// multi-channel models. The layered/CDS/localized baselines are
+    /// defined on the protocol model only.
+    pub fn supports_models(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::GreedyPipeline
+                | Algorithm::EModelPipeline
+                | Algorithm::GOpt
+                | Algorithm::Opt
+        )
+    }
+
     /// Display name matching the paper's figure legends where applicable.
     pub fn name(&self, regime: Regime) -> &'static str {
         match (self, regime) {
@@ -146,21 +161,96 @@ pub fn run_instance_with(
     search: &SearchConfig,
     state: &mut BroadcastState,
 ) -> RunResult {
+    run_instance_model(
+        topo,
+        source,
+        regime,
+        algorithm,
+        wake_seed,
+        search,
+        &PhyModelSpec::protocol(),
+        state,
+    )
+}
+
+/// As [`run_instance_with`], under an arbitrary conflict-model spec
+/// ([`PhyModelSpec`] — protocol, SINR, K channels). The model is built per
+/// instance (SINR gain tables and degenerate parameters derive from the
+/// topology) and the produced schedule is verified under it.
+///
+/// # Panics
+///
+/// Panics when `algorithm` is a protocol-only baseline
+/// ([`Algorithm::supports_models`] is `false`) and the spec is not the
+/// default single-channel protocol model.
+#[allow(clippy::too_many_arguments)]
+pub fn run_instance_model(
+    topo: &Topology,
+    source: NodeId,
+    regime: Regime,
+    algorithm: Algorithm,
+    wake_seed: u64,
+    search: &SearchConfig,
+    spec: &PhyModelSpec,
+    state: &mut BroadcastState,
+) -> RunResult {
+    run_instance_built(
+        topo,
+        source,
+        regime,
+        algorithm,
+        wake_seed,
+        search,
+        &spec.build(topo),
+        state,
+    )
+}
+
+/// As [`run_instance_model`], with an already-built [`PhyModel`] — hot
+/// loops that run several algorithms on one `(instance, model)` pair
+/// (the sweep workers) build the model once (SINR gain tables cost
+/// `O(n²)`) and thread it through every algorithm.
+#[allow(clippy::too_many_arguments)]
+pub fn run_instance_built(
+    topo: &Topology,
+    source: NodeId,
+    regime: Regime,
+    algorithm: Algorithm,
+    wake_seed: u64,
+    search: &SearchConfig,
+    model: &PhyModel,
+    state: &mut BroadcastState,
+) -> RunResult {
+    assert!(
+        model.is_default_protocol() || algorithm.supports_models(),
+        "{algorithm:?} is defined on the protocol model only"
+    );
     match regime {
-        Regime::Sync => run_with(topo, source, regime, algorithm, &AlwaysAwake, search, state),
+        Regime::Sync => run_with(
+            topo,
+            source,
+            regime,
+            algorithm,
+            &AlwaysAwake,
+            model,
+            search,
+            state,
+        ),
         Regime::Duty { rate } => {
             let wake = WindowedRandom::new(topo.len(), rate, wake_seed);
-            run_with(topo, source, regime, algorithm, &wake, search, state)
+            run_with(topo, source, regime, algorithm, &wake, model, search, state)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_with<S: WakeSchedule>(
     topo: &Topology,
     source: NodeId,
     regime: Regime,
     algorithm: Algorithm,
     wake: &S,
+    model: &PhyModel,
     search: &SearchConfig,
     state: &mut BroadcastState,
 ) -> RunResult {
@@ -184,20 +274,22 @@ fn run_with<S: WakeSchedule>(
             );
             schedule_cds_layered(topo, source)
         }
-        Algorithm::GreedyPipeline => run_pipeline_with(
+        Algorithm::GreedyPipeline => run_pipeline_model(
             topo,
             source,
             wake,
+            model,
             &mut MaxReceiversSelector,
             &PipelineConfig { start_from: start },
             state,
         ),
         Algorithm::EModelPipeline => {
             let em = EModel::build(topo, wake);
-            run_pipeline_with(
+            run_pipeline_model(
                 topo,
                 source,
                 wake,
+                model,
                 &mut EModelSelector::new(&em),
                 &PipelineConfig { start_from: start },
                 state,
@@ -209,25 +301,27 @@ fn run_with<S: WakeSchedule>(
                 .schedule
         }
         Algorithm::GOpt => {
-            let out = solve_gopt_with(topo, source, wake, search, state);
+            let out = solve_gopt_model(topo, source, wake, model, search, state);
             exact = Some(out.exact);
             search_stats = Some(out.stats);
             out.schedule
         }
         Algorithm::Opt => {
-            let out = solve_opt_with(topo, source, wake, search, state);
+            let out = solve_opt_model(topo, source, wake, model, search, state);
             exact = Some(out.exact);
             search_stats = Some(out.stats);
             out.schedule
         }
     };
 
-    schedule.verify(topo, wake).unwrap_or_else(|e| {
-        panic!(
-            "{} produced an invalid schedule: {e}",
-            algorithm.name(regime)
-        )
-    });
+    schedule
+        .verify_with_model(topo, wake, model)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} produced an invalid schedule: {e}",
+                algorithm.name(regime)
+            )
+        });
 
     let ecc = bounds::source_eccentricity(topo, source);
     let (opt_analysis, baseline_bound) = match regime {

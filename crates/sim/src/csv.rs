@@ -89,6 +89,7 @@ mod tests {
             instances: 2,
             algorithms: vec![Algorithm::Layered, Algorithm::EModelPipeline],
             regime: Regime::Sync,
+            models: vec![crate::PhyModelSpec::protocol()],
             master_seed: 7,
             search: SearchConfig::default(),
             search_overrides: Vec::new(),

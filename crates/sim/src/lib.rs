@@ -29,11 +29,15 @@ mod sweep;
 
 pub mod csv;
 
-pub use algorithm::{run_instance, run_instance_with, Algorithm, Regime, RunResult};
+pub use algorithm::{
+    run_instance, run_instance_built, run_instance_model, run_instance_with, Algorithm, Regime,
+    RunResult,
+};
 pub use energy::{energy_of_schedule, EnergyReport, RadioEnergyModel};
 pub use lossy::{mean_coverage, replay_lossy, LossyOutcome};
 pub use stats::Summary;
 pub use sweep::{Sweep, SweepPointResult, SweepResult};
+pub use wsn_phy::PhyModelSpec;
 
 /// Derives a stream seed from a master seed and context labels
 /// (SplitMix64 over the mixed words).

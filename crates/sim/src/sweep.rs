@@ -1,14 +1,16 @@
 //! The density-sweep experiment: Figures 3, 4 and 6.
 
-use crate::algorithm::{run_instance_with, Algorithm, Regime};
+use crate::algorithm::{run_instance_built, Algorithm, Regime};
 use crate::derive_seed;
 use crate::stats::Summary;
 use mlbs_core::{BroadcastState, SearchConfig};
 use std::collections::HashMap;
+use wsn_phy::PhyModelSpec;
 use wsn_topology::deploy::SyntheticDeployment;
 
 /// A density sweep: for each node count, draw `instances` deployments and
-/// run every algorithm on each.
+/// run every algorithm on each — optionally across several conflict
+/// models / channel counts (the model axis of `BENCH_phy.json`).
 #[derive(Clone, Debug)]
 pub struct Sweep {
     /// Node counts (the paper sweeps 50–300 over a 50×50 sq-ft area).
@@ -19,6 +21,13 @@ pub struct Sweep {
     pub algorithms: Vec<Algorithm>,
     /// Timing regime.
     pub regime: Regime,
+    /// Conflict-model axis: every algorithm runs on every instance under
+    /// every spec (same topology, same source, same wake schedule — the
+    /// per-instance comparison the model bench reports). The default is
+    /// the paper's single-channel protocol model; with more than one spec
+    /// the per-algorithm result labels gain an `@model` suffix, and every
+    /// algorithm must be model-aware ([`Algorithm::supports_models`]).
+    pub models: Vec<PhyModelSpec>,
     /// Master seed; everything else derives from it.
     pub master_seed: u64,
     /// Search configuration for OPT / G-OPT.
@@ -40,10 +49,25 @@ impl Sweep {
             instances,
             algorithms: Algorithm::paper_set().to_vec(),
             regime,
+            models: vec![PhyModelSpec::protocol()],
             master_seed,
             search: SearchConfig::default(),
             search_overrides: Vec::new(),
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+    }
+
+    /// The display label of `algorithm` under model `mi` — the plain
+    /// legend name on a single-model sweep, `name@model` on a model sweep.
+    fn result_label(&self, algorithm: Algorithm, mi: usize) -> String {
+        if self.models.len() <= 1 {
+            algorithm.name(self.regime).to_string()
+        } else {
+            format!(
+                "{}@{}",
+                algorithm.name(self.regime),
+                self.models[mi].label()
+            )
         }
     }
 
@@ -55,18 +79,27 @@ impl Sweep {
             .map_or(&self.search, |(_, cfg)| cfg)
     }
 
-    /// Runs the sweep and aggregates per (algorithm, node count).
+    /// Runs the sweep and aggregates per (algorithm, node count, model).
     pub fn run(&self) -> SweepResult {
-        assert!(self.instances > 0 && !self.node_counts.is_empty());
-        let jobs: Vec<(usize, usize)> = self
+        assert!(self.instances > 0 && !self.node_counts.is_empty() && !self.models.is_empty());
+        if self.models.iter().any(|m| !m.is_default_protocol()) {
+            assert!(
+                self.algorithms.iter().all(Algorithm::supports_models),
+                "model-axis sweeps support only model-aware algorithms"
+            );
+        }
+        let jobs: Vec<(usize, usize, usize)> = self
             .node_counts
             .iter()
-            .flat_map(|&n| (0..self.instances).map(move |i| (n, i)))
+            .flat_map(|&n| {
+                (0..self.instances)
+                    .flat_map(move |i| (0..self.models.len()).map(move |m| (n, i, m)))
+            })
             .collect();
 
-        // One result bucket per (node count, algorithm).
-        let mut latency: HashMap<(usize, Algorithm), Summary> = HashMap::new();
-        let mut transmissions: HashMap<(usize, Algorithm), Summary> = HashMap::new();
+        // One result bucket per (node count, algorithm, model index).
+        let mut latency: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
+        let mut transmissions: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
         let mut opt_analysis: HashMap<usize, Summary> = HashMap::new();
         let mut baseline_bound: HashMap<usize, Summary> = HashMap::new();
         let mut eccentricity: HashMap<usize, Summary> = HashMap::new();
@@ -102,10 +135,10 @@ impl Sweep {
                         if start >= jobs.len() {
                             return;
                         }
-                        for (k, &(nodes, instance)) in
+                        for (k, &(nodes, instance, model_idx)) in
                             jobs.iter().enumerate().skip(start).take(chunk)
                         {
-                            let rec = sweep.run_one(nodes, instance, &mut substrate);
+                            let rec = sweep.run_one(nodes, instance, model_idx, &mut substrate);
                             if res_tx.send((k, rec)).is_err() {
                                 return;
                             }
@@ -121,30 +154,34 @@ impl Sweep {
         for (_, rec) in records {
             for (alg, r) in &rec.runs {
                 latency
-                    .entry((rec.nodes, *alg))
+                    .entry((rec.nodes, *alg, rec.model_idx))
                     .or_default()
                     .push(r.latency as f64);
                 transmissions
-                    .entry((rec.nodes, *alg))
+                    .entry((rec.nodes, *alg, rec.model_idx))
                     .or_default()
                     .push(r.transmissions as f64);
                 if r.exact == Some(false) {
                     inexact += 1;
                 }
             }
-            if let Some((_, first)) = rec.runs.first() {
-                opt_analysis
-                    .entry(rec.nodes)
-                    .or_default()
-                    .push(first.opt_analysis as f64);
-                baseline_bound
-                    .entry(rec.nodes)
-                    .or_default()
-                    .push(first.baseline_bound as f64);
-                eccentricity
-                    .entry(rec.nodes)
-                    .or_default()
-                    .push(first.eccentricity as f64);
+            // Instance metrics are model-independent: record them once per
+            // instance, from the first model's record.
+            if rec.model_idx == 0 {
+                if let Some((_, first)) = rec.runs.first() {
+                    opt_analysis
+                        .entry(rec.nodes)
+                        .or_default()
+                        .push(first.opt_analysis as f64);
+                    baseline_bound
+                        .entry(rec.nodes)
+                        .or_default()
+                        .push(first.baseline_bound as f64);
+                    eccentricity
+                        .entry(rec.nodes)
+                        .or_default()
+                        .push(first.eccentricity as f64);
+                }
             }
         }
 
@@ -154,11 +191,12 @@ impl Sweep {
             let per_alg = self
                 .algorithms
                 .iter()
-                .map(|&alg| {
+                .flat_map(|&alg| (0..self.models.len()).map(move |mi| (alg, mi)))
+                .map(|(alg, mi)| {
                     (
-                        alg.name(self.regime).to_string(),
-                        latency.remove(&(nodes, alg)).unwrap_or_default(),
-                        transmissions.remove(&(nodes, alg)).unwrap_or_default(),
+                        self.result_label(alg, mi),
+                        latency.remove(&(nodes, alg, mi)).unwrap_or_default(),
+                        transmissions.remove(&(nodes, alg, mi)).unwrap_or_default(),
                     )
                 })
                 .collect();
@@ -178,12 +216,16 @@ impl Sweep {
         }
     }
 
-    /// One instance: sample the deployment, run every algorithm on it
-    /// through the worker's shared substrate.
+    /// One `(instance, model)` job: sample the deployment, run every
+    /// algorithm on it under the model through the worker's shared
+    /// substrate. Deployment and wake randomness depend only on
+    /// `(master_seed, nodes, instance)`, so every model sees identical
+    /// instances.
     fn run_one(
         &self,
         nodes: usize,
         instance: usize,
+        model_idx: usize,
         substrate: &mut BroadcastState,
     ) -> InstanceRecord {
         let seed = derive_seed(self.master_seed, nodes as u64, instance as u64);
@@ -191,25 +233,33 @@ impl Sweep {
         let (topo, source) = deployment.sample(seed);
         let wake_seed = derive_seed(seed, WAKE_SEED_TAG, 0);
         let search = self.search_for_nodes(nodes);
+        // One model build per job: every algorithm shares it (SINR gain
+        // tables are O(n²), so per-algorithm rebuilds would dominate).
+        let model = self.models[model_idx].build(&topo);
         let runs = self
             .algorithms
             .iter()
             .map(|&alg| {
                 (
                     alg,
-                    run_instance_with(
+                    run_instance_built(
                         &topo,
                         source,
                         self.regime,
                         alg,
                         wake_seed,
                         search,
+                        &model,
                         substrate,
                     ),
                 )
             })
             .collect();
-        InstanceRecord { nodes, runs }
+        InstanceRecord {
+            nodes,
+            model_idx,
+            runs,
+        }
     }
 }
 
@@ -217,9 +267,10 @@ impl Sweep {
 /// from deployment randomness.
 const WAKE_SEED_TAG: u64 = 0x57a6_6e8d;
 
-/// Results of all algorithms on one instance.
+/// Results of all algorithms on one `(instance, model)` job.
 struct InstanceRecord {
     nodes: usize,
+    model_idx: usize,
     runs: Vec<(Algorithm, crate::algorithm::RunResult)>,
 }
 
@@ -308,6 +359,7 @@ mod tests {
                 Algorithm::EModelPipeline,
             ],
             regime: Regime::Sync,
+            models: vec![PhyModelSpec::protocol()],
             master_seed: 1234,
             search: SearchConfig::default(),
             search_overrides: Vec::new(),
@@ -397,5 +449,49 @@ mod tests {
         assert!(r.mean_latency(50, "G-OPT").is_some());
         assert!(r.mean_latency(50, "nonexistent").is_none());
         assert!(r.mean_latency(999, "G-OPT").is_none());
+    }
+
+    #[test]
+    fn model_axis_labels_and_orders_results() {
+        let r = Sweep {
+            node_counts: vec![50],
+            instances: 2,
+            algorithms: vec![Algorithm::GOpt, Algorithm::GreedyPipeline],
+            regime: Regime::Sync,
+            models: vec![
+                PhyModelSpec::protocol(),
+                PhyModelSpec::protocol().with_channels(2),
+            ],
+            master_seed: 7,
+            search: SearchConfig::default(),
+            search_overrides: Vec::new(),
+            threads: 2,
+        }
+        .run();
+        let p = &r.points[0];
+        // algorithms × models result columns, labeled with the model.
+        assert_eq!(p.per_algorithm.len(), 4);
+        // Both model columns exist and carry results. (No latency-order
+        // assertion here: greedy-restricted G-OPT carries no coverage
+        // monotonicity, so K = 2 beating K = 1 is the trend, not a
+        // theorem — the exactness-guarded OPT comparison lives in the
+        // core and proptest suites.)
+        assert!(r.mean_latency(50, "G-OPT@protocol").unwrap() >= 1.0);
+        assert!(r.mean_latency(50, "G-OPT@protocol-k2").unwrap() >= 1.0);
+        // Instance metrics are recorded once per instance, not per model.
+        assert_eq!(p.eccentricity.count(), 2);
+        for (_, lat, _) in &p.per_algorithm {
+            assert_eq!(lat.count(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "model-aware")]
+    fn model_axis_rejects_protocol_only_baselines() {
+        let mut s = Sweep::paper_grid(Regime::Sync, 1, 7);
+        s.node_counts = vec![50];
+        s.models = vec![PhyModelSpec::protocol().with_channels(2)];
+        s.algorithms = vec![Algorithm::Layered];
+        s.run();
     }
 }

@@ -43,7 +43,8 @@
 //! | [`geom`] | `wsn-geom` | hulls, quadrants, angular analysis |
 //! | [`bitset`] | `wsn-bitset` | dense node sets, interned state ids |
 //! | [`dutycycle`] | `wsn-dutycycle` | wake schedules, CWT |
-//! | [`interference`] | `wsn-interference` | conflict model, incremental conflict graphs, collision resolution |
+//! | [`phy`] | `wsn-phy` | pluggable conflict models: protocol, pairwise SINR, multi-channel |
+//! | [`interference`] | `wsn-interference` | conflict predicates, incremental conflict graphs, collision resolution |
 //! | [`coloring`] | `wsn-coloring` | greedy scheme, Eq. (1) validity, enumeration, broadcast-state substrate |
 //! | [`baselines`] | `wsn-baselines` | 26-/17-approximation, CDS, flooding |
 //! | [`distributed`] | `wsn-distributed` | localized scheduling, distributed E-model (§VII) |
@@ -73,6 +74,26 @@
 //! frontier-weighted branch ordering ride on top, and
 //! [`bench::AdaptiveBudget`] derives per-instance search caps from a
 //! wall-clock target instead of regime constants.
+//!
+//! ## The conflict-model layer
+//!
+//! *Which* transmissions conflict is pluggable: every scheduler, the
+//! substrate and the verifier are generic over a
+//! [`phy::ConflictModel`] — the paper's protocol/UDG model (the default,
+//! bit-identical to the pre-model code paths), pairwise SINR physical
+//! interference with a cached gain table ([`phy::SinrModel`]), and a
+//! K-channel wrapper relaxing any inner model ([`phy::MultiChannel`]).
+//! Schedules carry per-sender channel assignments, validated group by
+//! group through the model's reception rule
+//! (`Schedule::verify_with_model`). The `*_model` entry points
+//! (`solve_opt_model`, `run_pipeline_model`, `run_instance_model`) thread
+//! a model through, `sim::Sweep` grows a model/channel axis
+//! ([`phy::PhyModelSpec`]), and the `claims` binary's `--phy-bench-only`
+//! flag emits `BENCH_phy.json` comparing OPT/G-OPT latency across
+//! protocol vs SINR vs K ∈ {1, 2, 4} channels. The incremental conflict
+//! builder keys its caches on the model fingerprint and maintains any
+//! model's graph by delta through its witness-set factorization (see the
+//! DESIGN note in `wsn-phy`).
 
 pub use mlbs_core as core;
 pub use wsn_baselines as baselines;
@@ -83,16 +104,17 @@ pub use wsn_distributed as distributed;
 pub use wsn_dutycycle as dutycycle;
 pub use wsn_geom as geom;
 pub use wsn_interference as interference;
+pub use wsn_phy as phy;
 pub use wsn_sim as sim;
 pub use wsn_topology as topology;
 
 /// The names most applications need, importable in one line.
 pub mod prelude {
     pub use mlbs_core::{
-        bounds, run_pipeline, run_pipeline_with, solve_gopt, solve_gopt_with, solve_opt,
-        solve_opt_with, BranchOrder, BroadcastState, ColorSelector, EModel, EModelSelector,
-        MaxReceiversSelector, PipelineConfig, Schedule, ScheduleEntry, ScheduleError, SearchConfig,
-        SearchOutcome,
+        bounds, run_pipeline, run_pipeline_model, run_pipeline_with, solve_gopt, solve_gopt_model,
+        solve_gopt_with, solve_opt, solve_opt_model, solve_opt_with, BranchOrder, BroadcastState,
+        ColorSelector, EModel, EModelSelector, MaxReceiversSelector, PipelineConfig, Schedule,
+        ScheduleEntry, ScheduleError, SearchConfig, SearchOutcome,
     };
     pub use wsn_baselines::{
         flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered, schedule_layered,
@@ -108,7 +130,12 @@ pub mod prelude {
         AlwaysAwake, ExplicitSchedule, Slot, WakePatternTable, WakeSchedule, WindowedRandom,
     };
     pub use wsn_geom::{Point, Quadrant, Rect};
-    pub use wsn_sim::{run_instance, run_instance_with, Algorithm, Regime, Summary, Sweep};
+    pub use wsn_phy::{
+        ConflictModel, MultiChannel, PhyModel, PhyModelSpec, ProtocolModel, SinrModel, SinrParams,
+    };
+    pub use wsn_sim::{
+        run_instance, run_instance_model, run_instance_with, Algorithm, Regime, Summary, Sweep,
+    };
     pub use wsn_topology::{deploy::SyntheticDeployment, fixtures, metrics, NodeId, Topology};
 }
 
@@ -138,7 +165,7 @@ mod facade_consistency {
         let doc = include_str!("lib.rs");
         let members = workspace_members();
         assert!(
-            members.len() >= 11,
+            members.len() >= 12,
             "expected the full crate list, got {members:?}"
         );
         let table_rows: Vec<&str> = doc

@@ -1,0 +1,280 @@
+//! The anytime driver: seed greedily, then alternate PARTIALCOL
+//! compression passes, TabuCol squash-repair kicks and randomized greedy
+//! restarts until the budget runs out, keeping the best verified schedule
+//! and an improving-bound trace.
+
+use mlbs_core::Schedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wsn_dutycycle::{Slot, WakeSchedule};
+use wsn_interference::ConflictGraphBuilder;
+use wsn_phy::ConflictModel;
+use wsn_topology::{metrics, NodeId, Topology};
+
+use crate::legalize::{Hints, Legalizer};
+use crate::partial::{PartialSchedule, StepOutcome};
+
+/// When the anytime search stops.
+///
+/// Wall-clock budgets are what the 10k–100k benchmarks use; iteration
+/// budgets make runs bit-reproducible (time never influences a decision),
+/// which is what the sweep harness needs for its thread-count-independence
+/// guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Budget {
+    /// Stop after this many milliseconds of wall-clock time.
+    WallClockMs(u64),
+    /// Stop after this many deterministic work units (local-search moves
+    /// plus a per-pass setup charge proportional to the relay count).
+    Iterations(u64),
+}
+
+/// Anytime-search parameters.
+#[derive(Clone, Debug)]
+pub struct AnytimeConfig {
+    /// Stop condition.
+    pub budget: Budget,
+    /// RNG seed; two runs with the same seed and an iteration budget are
+    /// bit-identical.
+    pub seed: u64,
+    /// Slot from which the source may first transmit.
+    pub start_from: Slot,
+    /// Base tabu tenure (moves); the engines add dynamic terms.
+    pub tabu_tenure: u64,
+    /// Local-search moves a single pass may spend before giving up.
+    pub pass_move_cap: u64,
+    /// Failed passes before a diversification kick.
+    pub stalls_before_kick: u32,
+    /// Priority noise for randomized restart legalizations.
+    pub jitter: u32,
+}
+
+impl Default for AnytimeConfig {
+    fn default() -> Self {
+        AnytimeConfig {
+            budget: Budget::Iterations(50_000),
+            seed: 0x1CC5_2012,
+            start_from: 1,
+            tabu_tenure: 7,
+            pass_move_cap: 4_000,
+            stalls_before_kick: 3,
+            jitter: 3,
+        }
+    }
+}
+
+/// One point of the improving-bound trace: the incumbent latency as of
+/// `elapsed_ms` since the search started. Strictly improving by
+/// construction (one point per accepted incumbent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TracePoint {
+    /// Milliseconds since `solve_anytime` was entered.
+    pub elapsed_ms: u64,
+    /// Incumbent latency at that moment.
+    pub latency: Slot,
+}
+
+/// Result of an anytime search.
+#[derive(Clone, Debug)]
+pub struct AnytimeOutcome {
+    /// Best schedule found (always verifies under the model it was
+    /// searched with).
+    pub schedule: Schedule,
+    /// Its latency.
+    pub latency: Slot,
+    /// Improving-bound trace, one point per incumbent (monotone
+    /// non-increasing latency, starting with the greedy seed).
+    pub trace: Vec<TracePoint>,
+    /// Local-search moves spent.
+    pub moves: u64,
+    /// Compression/repair passes attempted.
+    pub passes: u64,
+    /// Diversification kicks (squash or randomized restart).
+    pub restarts: u64,
+    /// `true` when the incumbent hit the BFS-depth lower bound, proving
+    /// optimality (the budget is then left unspent).
+    pub proved_optimal: bool,
+}
+
+/// Budget bookkeeping shared by the driver and its passes.
+struct Clock {
+    budget: Budget,
+    started: Instant,
+    moves: u64,
+}
+
+impl Clock {
+    fn exhausted(&self) -> bool {
+        match self.budget {
+            Budget::WallClockMs(ms) => self.started.elapsed().as_millis() as u64 >= ms,
+            Budget::Iterations(k) => self.moves >= k,
+        }
+    }
+
+    fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+/// Anytime minimum-latency broadcast scheduling: greedy seed, then
+/// tabu/PARTIALCOL local search on the schedule-length objective until the
+/// budget expires. Returns the best schedule found so far plus the
+/// improving-bound trace — interrupt-anytime semantics on networks far
+/// beyond the exact tier's reach (10k–100k nodes).
+///
+/// Generic over the conflict model and wake schedule; every incumbent is
+/// re-verified with [`Schedule::verify_with_model`] before acceptance, so
+/// the result is valid under exactly the semantics the exact tier uses.
+///
+/// # Panics
+///
+/// Panics when the topology is disconnected.
+pub fn solve_anytime<S: WakeSchedule, M: ConflictModel>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    model: &M,
+    config: &AnytimeConfig,
+) -> AnytimeOutcome {
+    let hops = metrics::bfs_hops(topo, source);
+    assert!(
+        hops.iter().all(|&h| h != metrics::UNREACHABLE),
+        "broadcast cannot complete: disconnected topology"
+    );
+    let depth = Slot::from(hops.iter().copied().max().unwrap_or(0));
+
+    let mut clock = Clock {
+        budget: config.budget,
+        started: Instant::now(),
+        moves: 0,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut legalizer = Legalizer::new(topo.len());
+    let mut builder = ConflictGraphBuilder::new();
+    let no_hints = Hints::new();
+
+    let mut best = legalizer.legalize(
+        topo,
+        source,
+        wake,
+        model,
+        &no_hints,
+        config.start_from,
+        0,
+        &mut rng,
+    );
+    debug_assert!(best.verify_with_model(topo, wake, model).is_ok());
+    let mut trace = vec![TracePoint {
+        elapsed_ms: clock.elapsed_ms(),
+        latency: best.latency(),
+    }];
+    let mut passes = 0u64;
+    let mut restarts = 0u64;
+    let mut stalls = 0u32;
+
+    while best.latency() > depth && !clock.exhausted() {
+        passes += 1;
+        let kick = stalls >= config.stalls_before_kick;
+        let candidate = if kick && passes.is_multiple_of(2) {
+            // Kick A: randomized greedy restart (fresh construction with
+            // jittered priorities).
+            restarts += 1;
+            clock.moves += topo.len() as u64 / 64 + 1;
+            Some(legalizer.legalize(
+                topo,
+                source,
+                wake,
+                model,
+                &no_hints,
+                config.start_from,
+                config.jitter,
+                &mut rng,
+            ))
+        } else {
+            // Compression pass (PARTIALCOL), or squash-repair (TabuCol)
+            // when kicked: both search the frozen conflict structure for
+            // an assignment one slot shorter, which the legalizer then
+            // re-simulates.
+            let mut partial = PartialSchedule::from_schedule(&best, topo, model, &mut builder);
+            clock.moves += partial.relays().len() as u64 / 8 + 1;
+            let started = if kick {
+                restarts += 1;
+                partial.begin_squash(wake, &mut rng)
+            } else {
+                partial.begin_compress()
+            };
+            let mut solved = false;
+            if started {
+                let mut pass_moves = 0u64;
+                loop {
+                    let step = if kick {
+                        partial.repair_step(wake, config.tabu_tenure, &mut rng)
+                    } else {
+                        partial.compress_step(wake, config.tabu_tenure, &mut rng)
+                    };
+                    clock.moves += 1;
+                    pass_moves += 1;
+                    match step {
+                        StepOutcome::Done => {
+                            solved = true;
+                            break;
+                        }
+                        StepOutcome::Stuck => break,
+                        StepOutcome::Progress => {}
+                    }
+                    if pass_moves >= config.pass_move_cap
+                        || (pass_moves.is_multiple_of(64) && clock.exhausted())
+                    {
+                        break;
+                    }
+                }
+            }
+            solved.then(|| {
+                let hints = partial.hints();
+                legalizer.legalize(
+                    topo,
+                    source,
+                    wake,
+                    model,
+                    &hints,
+                    config.start_from,
+                    0,
+                    &mut rng,
+                )
+            })
+        };
+
+        match candidate {
+            Some(cand)
+                if cand.latency() < best.latency()
+                    && cand.verify_with_model(topo, wake, model).is_ok() =>
+            {
+                best = cand;
+                trace.push(TracePoint {
+                    elapsed_ms: clock.elapsed_ms(),
+                    latency: best.latency(),
+                });
+                stalls = 0;
+            }
+            _ => {
+                stalls += 1;
+                if kick {
+                    stalls = 0; // a kick resets the stall counter either way
+                }
+            }
+        }
+    }
+
+    let proved_optimal = best.latency() <= depth;
+    let latency = best.latency();
+    AnytimeOutcome {
+        schedule: best,
+        latency,
+        trace,
+        moves: clock.moves,
+        passes,
+        restarts,
+        proved_optimal,
+    }
+}

@@ -1,0 +1,519 @@
+//! [`PartialSchedule`]: the mutable assignment the tabu/PARTIALCOL local
+//! search permutes.
+//!
+//! A complete broadcast schedule induces an assignment `relay → slot` plus
+//! a *frozen* conflict structure: for every pair of relays whose witness
+//! set is non-empty, the last slot at which they may not share a slot is
+//! `deadline(u, v) = max_w receive_slot[w]` over their witnesses `w` — a
+//! witness received in slot `r` is vulnerable through slot `r` inclusive.
+//! Against that frozen structure, evaluating a single-relay move costs
+//! `O(degree)`: bump a per-slot cost counter for each partner, read the
+//! counter at the target slot. The structure is *frozen* (receive times do
+//! not track the moves), so a zero-cost assignment here is a *candidate*,
+//! not a theorem — the legalizer re-simulates every candidate under the
+//! real model before it can become the incumbent.
+//!
+//! Two move disciplines share this state, both classic graph-coloring
+//! local searches transplanted onto slots-with-deadlines:
+//!
+//! * **PARTIALCOL** ([`PartialSchedule::begin_compress`] +
+//!   [`PartialSchedule::compress_step`]): evict the last occupied slot,
+//!   then repeatedly place an unassigned relay into its cheapest feasible
+//!   slot, evicting whoever it collides with (tabu forbids the evictee's
+//!   old slot for a tenure). Success = no unassigned relays ⇒ a schedule
+//!   hint one slot shorter.
+//! * **TabuCol** ([`PartialSchedule::begin_squash`] +
+//!   [`PartialSchedule::repair_step`]): force the last slot's relays into
+//!   random earlier slots (conflicts allowed), then reassign conflicted
+//!   relays toward zero total conflicts, tabu on the (relay, old-slot)
+//!   pair, aspiration on conflict-free placements.
+
+use mlbs_core::Schedule;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use wsn_bitset::NodeSet;
+use wsn_dutycycle::{Slot, WakeSchedule};
+use wsn_interference::ConflictGraphBuilder;
+use wsn_phy::ConflictModel;
+use wsn_topology::{NodeId, Topology};
+
+use crate::legalize::Hints;
+
+/// Sentinel slot for "relay currently unassigned".
+const UNASSIGNED: Slot = Slot::MAX;
+
+/// One step of a local-search discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The target condition is met (no unassigned relays / no conflicts).
+    Done,
+    /// A move was made; keep stepping.
+    Progress,
+    /// No feasible slot exists for the current relay (narrow wake window);
+    /// the pass cannot succeed.
+    Stuck,
+}
+
+/// The mutable per-pass assignment (see the module docs).
+pub struct PartialSchedule {
+    /// Relay ids; index space of everything below.
+    relays: Vec<NodeId>,
+    /// Partner lists: `adj[i] = [(j, deadline), …]` — co-slot placement of
+    /// `relays[i]` and `relays[j]` at slot `t` conflicts iff `t ≤ deadline`.
+    adj: Vec<Vec<(u32, Slot)>>,
+    /// Current absolute slot per relay ([`UNASSIGNED`] while evicted).
+    slot_of: Vec<Slot>,
+    /// Frozen earliest sending slot per relay (`receive_slot + 1`; the
+    /// source is pinned to the start slot and never moved).
+    earliest: Vec<Slot>,
+    /// Occupants per window offset (`slot − start`).
+    buckets: Vec<Vec<u32>>,
+    /// Source slot (window origin).
+    start: Slot,
+    /// Highest slot a move may currently target.
+    cap: Slot,
+    /// Relay index of the broadcast source.
+    src: u32,
+    /// `(relay, slot) → iteration until which the move is tabu`.
+    tabu: HashMap<(u32, Slot), u64>,
+    iter: u64,
+    /// Scratch per-offset move costs plus the touched offsets.
+    cost: Vec<u32>,
+    touched: Vec<u32>,
+    /// PARTIALCOL: currently evicted relays.
+    unassigned: Vec<u32>,
+    /// TabuCol: per-relay conflict count and total conflicting pairs.
+    conf: Vec<u32>,
+    total_conf: u64,
+    /// TabuCol: queue of possibly-conflicted relays (lazily filtered).
+    conflicted: Vec<u32>,
+}
+
+impl PartialSchedule {
+    /// Freezes `schedule`'s conflict structure into a move-searchable
+    /// assignment. Partner pairs come from `builder` rows under `model`
+    /// (spatially pruned at scale), deadlines from the cached witness sets
+    /// against the schedule's receive times.
+    pub fn from_schedule<M: ConflictModel>(
+        schedule: &Schedule,
+        topo: &Topology,
+        model: &M,
+        builder: &mut ConflictGraphBuilder,
+    ) -> PartialSchedule {
+        let n = topo.len();
+        let mut relays: Vec<NodeId> = Vec::new();
+        let mut slot_of: Vec<Slot> = Vec::new();
+        for entry in &schedule.entries {
+            for &u in &entry.senders {
+                relays.push(u);
+                slot_of.push(entry.slot);
+            }
+        }
+        let k = relays.len();
+        let start = schedule.start;
+        let end = schedule.entries.last().map_or(start, |e| e.slot);
+
+        let mut src = u32::MAX;
+        let mut earliest = vec![0; k];
+        for (i, &u) in relays.iter().enumerate() {
+            if u == schedule.source {
+                src = i as u32;
+                earliest[i] = start;
+            } else {
+                earliest[i] = schedule.receive_slot[u.idx()] + 1;
+            }
+        }
+
+        // Partner rows against "everyone but the source may still be
+        // uninformed"; the deadline then narrows each edge to the slots
+        // where some witness is actually vulnerable.
+        let mut unf = NodeSet::full(n);
+        unf.remove(schedule.source.idx());
+        builder.update_with(model, topo, &relays, &unf);
+        let mut adj: Vec<Vec<(u32, Slot)>> = vec![Vec::new(); k];
+        for i in 0..k {
+            let row: Vec<usize> = builder.graph().row(i).iter().collect();
+            for j in row {
+                if j <= i {
+                    continue;
+                }
+                let deadline = builder
+                    .witnesses(model, topo, relays[i], relays[j])
+                    .iter()
+                    .map(|&w| schedule.receive_slot[w as usize])
+                    .max()
+                    .unwrap_or(0);
+                adj[i].push((j as u32, deadline));
+                adj[j].push((i as u32, deadline));
+            }
+        }
+
+        let window = (end - start + 1) as usize;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); window];
+        for (i, &t) in slot_of.iter().enumerate() {
+            buckets[(t - start) as usize].push(i as u32);
+        }
+
+        PartialSchedule {
+            adj,
+            slot_of,
+            earliest,
+            buckets,
+            start,
+            cap: end,
+            src,
+            tabu: HashMap::new(),
+            iter: 0,
+            cost: vec![0; window],
+            touched: Vec::new(),
+            unassigned: Vec::new(),
+            conf: vec![0; k],
+            total_conf: 0,
+            conflicted: Vec::new(),
+            relays,
+        }
+    }
+
+    /// The relay list (the assignment's index space).
+    pub fn relays(&self) -> &[NodeId] {
+        &self.relays
+    }
+
+    /// Current slot of relay `i`, `None` while evicted.
+    pub fn slot_of(&self, i: usize) -> Option<Slot> {
+        (self.slot_of[i] != UNASSIGNED).then_some(self.slot_of[i])
+    }
+
+    /// Number of currently unassigned relays.
+    pub fn unassigned_len(&self) -> usize {
+        self.unassigned.len()
+    }
+
+    /// Total conflicting pairs under the frozen structure (TabuCol
+    /// objective).
+    pub fn total_conflicts(&self) -> u64 {
+        self.total_conf
+    }
+
+    /// Frozen-structure cost of placing relay `i` at slot `t`: the number
+    /// of partners already sitting in `t` with a live deadline. `O(degree)`.
+    pub fn move_cost(&self, i: usize, t: Slot) -> u32 {
+        self.adj[i]
+            .iter()
+            .filter(|&&(j, dl)| self.slot_of[j as usize] == t && t <= dl)
+            .count() as u32
+    }
+
+    /// The last occupied window offset, if any slot is occupied.
+    fn last_occupied(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|b| !b.is_empty())
+    }
+
+    /// Starts a PARTIALCOL pass: evicts every relay of the last occupied
+    /// slot and forbids any slot beyond the second-to-last. Returns `false`
+    /// when the schedule is too short to compress (source slot only).
+    pub fn begin_compress(&mut self) -> bool {
+        let Some(off) = self.last_occupied() else {
+            return false;
+        };
+        if off == 0 {
+            return false;
+        }
+        for i in std::mem::take(&mut self.buckets[off]) {
+            self.slot_of[i as usize] = UNASSIGNED;
+            self.unassigned.push(i);
+        }
+        self.cap = self.start + off as Slot - 1;
+        true
+    }
+
+    /// One PARTIALCOL move: place an unassigned relay into its cheapest
+    /// non-tabu feasible slot, evicting the partners it collides with.
+    pub fn compress_step<S: WakeSchedule>(
+        &mut self,
+        wake: &S,
+        tenure: u64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let Some(pick) = self.pick_unassigned(rng) else {
+            return StepOutcome::Done;
+        };
+        let Some(t) = self.best_slot(pick, wake, rng) else {
+            // No wake-feasible slot inside the window: undo the pick.
+            self.unassigned.push(pick as u32);
+            return StepOutcome::Stuck;
+        };
+        self.place_evicting(pick, t, tenure, rng);
+        self.iter += 1;
+        if self.unassigned.is_empty() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Progress
+        }
+    }
+
+    /// Starts a TabuCol pass: forces every relay of the last occupied slot
+    /// into a random earlier feasible slot (conflicts allowed), then
+    /// recomputes the conflict counters. Returns `false` when the window
+    /// cannot shrink or some squashed relay has no feasible slot.
+    pub fn begin_squash<S: WakeSchedule>(&mut self, wake: &S, rng: &mut StdRng) -> bool {
+        let Some(off) = self.last_occupied() else {
+            return false;
+        };
+        if off == 0 {
+            return false;
+        }
+        self.cap = self.start + off as Slot - 1;
+        for i in std::mem::take(&mut self.buckets[off]) {
+            self.slot_of[i as usize] = UNASSIGNED;
+            let feasible: Vec<Slot> = self.feasible_slots(i as usize, wake).collect();
+            if feasible.is_empty() {
+                return false;
+            }
+            let t = feasible[rng.random_range(0..feasible.len())];
+            self.slot_of[i as usize] = t;
+            self.buckets[(t - self.start) as usize].push(i);
+        }
+        self.recount_conflicts();
+        true
+    }
+
+    /// One TabuCol move: reassign a conflicted relay to the slot minimizing
+    /// its conflict count (tabu on the slot it leaves, aspiration on
+    /// conflict-free placements).
+    pub fn repair_step<S: WakeSchedule>(
+        &mut self,
+        wake: &S,
+        tenure: u64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        if self.total_conf == 0 {
+            return StepOutcome::Done;
+        }
+        let x = loop {
+            let Some(c) = self.conflicted.pop() else {
+                // Lazy queue drained while conflicts remain: rebuild it.
+                self.conflicted = (0..self.conf.len() as u32)
+                    .filter(|&i| self.conf[i as usize] > 0)
+                    .collect();
+                debug_assert!(!self.conflicted.is_empty());
+                continue;
+            };
+            if self.conf[c as usize] > 0 {
+                if c == self.src {
+                    // The source is pinned; a conflict on it cannot be
+                    // repaired by moving it.
+                    return StepOutcome::Stuck;
+                }
+                break c as usize;
+            }
+        };
+        let old = self.slot_of[x];
+        let Some(t) = self.best_slot(x, wake, rng) else {
+            return StepOutcome::Stuck;
+        };
+        if t != old {
+            self.unplace(x);
+            self.tabu.insert((x as u32, old), self.iter + tenure);
+            self.place_counting(x, t);
+        }
+        self.iter += 1;
+        if self.total_conf == 0 {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Progress
+        }
+    }
+
+    /// Extracts the current assignment as legalizer hints (assigned relays
+    /// only), slot-keyed.
+    pub fn hints(&self) -> Hints {
+        let mut hints = Hints::new();
+        for (i, &t) in self.slot_of.iter().enumerate() {
+            if t != UNASSIGNED {
+                hints.entry(t).or_default().push(self.relays[i]);
+            }
+        }
+        for list in hints.values_mut() {
+            list.sort_unstable();
+        }
+        hints
+    }
+
+    /// Picks the next relay to place, randomly from the unassigned stack.
+    fn pick_unassigned(&mut self, rng: &mut StdRng) -> Option<usize> {
+        if self.unassigned.is_empty() {
+            return None;
+        }
+        let at = rng.random_range(0..self.unassigned.len());
+        Some(self.unassigned.swap_remove(at) as usize)
+    }
+
+    /// Wake-feasible target slots for relay `i` within the window.
+    fn feasible_slots<'a, S: WakeSchedule>(
+        &'a self,
+        i: usize,
+        wake: &'a S,
+    ) -> impl Iterator<Item = Slot> + 'a {
+        let lo = self.earliest[i].max(self.start + 1);
+        let node = self.relays[i].idx();
+        (lo..=self.cap).filter(move |&t| wake.can_send(node, t))
+    }
+
+    /// The cheapest non-tabu feasible slot for relay `i` (aspiration:
+    /// zero-cost slots ignore tabu; if everything is tabu, the cheapest
+    /// slot overall). Ties break uniformly at random. `None` when no
+    /// wake-feasible slot exists.
+    fn best_slot<S: WakeSchedule>(&mut self, i: usize, wake: &S, rng: &mut StdRng) -> Option<Slot> {
+        // Bump per-offset costs from the partner list (O(degree)).
+        for idx in self.touched.drain(..) {
+            self.cost[idx as usize] = 0;
+        }
+        for &(j, dl) in &self.adj[i] {
+            let t = self.slot_of[j as usize];
+            if t != UNASSIGNED && t <= dl {
+                let off = (t - self.start) as usize;
+                if self.cost[off] == 0 {
+                    self.touched.push(off as u32);
+                }
+                self.cost[off] += 1;
+            }
+        }
+        let mut best: Option<(u32, bool, Slot)> = None; // (cost, was_tabu_free, slot)
+        let mut ties = 0u32;
+        let lo = self.earliest[i].max(self.start + 1);
+        let node = self.relays[i].idx();
+        for t in lo..=self.cap {
+            if !wake.can_send(node, t) {
+                continue;
+            }
+            let c = self.cost[(t - self.start) as usize];
+            let free = c == 0
+                || self
+                    .tabu
+                    .get(&(i as u32, t))
+                    .is_none_or(|&until| until <= self.iter);
+            let better = match best {
+                None => true,
+                // Non-tabu beats tabu; then lower cost; equal → reservoir.
+                Some((bc, bfree, _)) => {
+                    (free, std::cmp::Reverse(c)) > (bfree, std::cmp::Reverse(bc))
+                }
+            };
+            if better {
+                best = Some((c, free, t));
+                ties = 1;
+            } else if let Some((bc, bfree, _)) = best {
+                if c == bc && free == bfree {
+                    ties += 1;
+                    if rng.random_range(0..ties) == 0 {
+                        best = Some((c, free, t));
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, t)| t)
+    }
+
+    /// Places relay `i` at `t`, evicting every partner it conflicts with
+    /// (PARTIALCOL semantics; evicted relays join the unassigned stack and
+    /// their old slot becomes tabu).
+    fn place_evicting(&mut self, i: usize, t: Slot, tenure: u64, rng: &mut StdRng) {
+        // Dynamic tenure: longer while the unassigned set is larger, plus
+        // noise so cycles do not lock in.
+        let until =
+            self.iter + tenure + self.unassigned.len() as u64 / 2 + rng.random_range(0..3u64);
+        let adj = std::mem::take(&mut self.adj[i]);
+        for &(j, dl) in &adj {
+            let j = j as usize;
+            if self.slot_of[j] == t && t <= dl {
+                self.remove_from_bucket(j);
+                self.slot_of[j] = UNASSIGNED;
+                self.unassigned.push(j as u32);
+                self.tabu.insert((j as u32, t), until);
+            }
+        }
+        self.adj[i] = adj;
+        self.slot_of[i] = t;
+        self.buckets[(t - self.start) as usize].push(i as u32);
+    }
+
+    /// Removes relay `j` from its slot bucket.
+    fn remove_from_bucket(&mut self, j: usize) {
+        let off = (self.slot_of[j] - self.start) as usize;
+        let bucket = &mut self.buckets[off];
+        let at = bucket
+            .iter()
+            .position(|&x| x as usize == j)
+            .expect("assigned relay sits in its bucket");
+        bucket.swap_remove(at);
+    }
+
+    /// TabuCol bookkeeping: removes `x` from its slot, updating conflict
+    /// counters.
+    fn unplace(&mut self, x: usize) {
+        let t = self.slot_of[x];
+        self.remove_from_bucket(x);
+        let adj = std::mem::take(&mut self.adj[x]);
+        for &(j, dl) in &adj {
+            let j = j as usize;
+            if self.slot_of[j] == t && t <= dl {
+                self.conf[x] -= 1;
+                self.conf[j] -= 1;
+                self.total_conf -= 1;
+            }
+        }
+        self.adj[x] = adj;
+        self.slot_of[x] = UNASSIGNED;
+    }
+
+    /// TabuCol bookkeeping: places `x` at `t`, updating conflict counters
+    /// and enqueueing newly conflicted partners.
+    fn place_counting(&mut self, x: usize, t: Slot) {
+        self.slot_of[x] = t;
+        self.buckets[(t - self.start) as usize].push(x as u32);
+        let adj = std::mem::take(&mut self.adj[x]);
+        for &(j, dl) in &adj {
+            let j = j as usize;
+            if self.slot_of[j] == t && t <= dl {
+                self.conf[x] += 1;
+                if self.conf[j] == 0 {
+                    self.conflicted.push(j as u32);
+                }
+                self.conf[j] += 1;
+                self.total_conf += 1;
+            }
+        }
+        self.adj[x] = adj;
+        if self.conf[x] > 0 {
+            self.conflicted.push(x as u32);
+        }
+    }
+
+    /// Recomputes all conflict counters from scratch (pass setup).
+    fn recount_conflicts(&mut self) {
+        self.conf.iter_mut().for_each(|c| *c = 0);
+        self.total_conf = 0;
+        self.conflicted.clear();
+        for i in 0..self.relays.len() {
+            let t = self.slot_of[i];
+            if t == UNASSIGNED {
+                continue;
+            }
+            for &(j, dl) in &self.adj[i] {
+                let j = j as usize;
+                if j > i && self.slot_of[j] == t && t <= dl {
+                    self.conf[i] += 1;
+                    self.conf[j] += 1;
+                    self.total_conf += 1;
+                }
+            }
+        }
+        for i in 0..self.conf.len() {
+            if self.conf[i] > 0 {
+                self.conflicted.push(i as u32);
+            }
+        }
+    }
+}

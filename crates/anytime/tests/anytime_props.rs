@@ -1,0 +1,123 @@
+//! Property tests for the anytime tier: every emitted schedule verifies
+//! under the conflict model it was searched with, the improving-bound
+//! trace is strictly monotone, and a generous budget recovers the exact
+//! tier's optimum on paper-scale pinned instances.
+
+use proptest::prelude::*;
+use wsn_anytime::{solve_anytime, AnytimeConfig, Budget};
+use wsn_dutycycle::{AlwaysAwake, WindowedRandom};
+use wsn_phy::{PhyModelSpec, SinrParams};
+use wsn_topology::deploy::SyntheticDeployment;
+
+fn budget(iters: u64) -> AnytimeConfig {
+    AnytimeConfig {
+        budget: Budget::Iterations(iters),
+        ..AnytimeConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (instance, model) pair: the final schedule verifies under the
+    /// exact model semantics and the trace is strictly improving.
+    #[test]
+    fn schedules_verify_under_every_model(
+        seed in 0..64u64,
+        n in 40usize..110,
+        model_ix in 0usize..4,
+    ) {
+        let (topo, src) = SyntheticDeployment::paper(n).sample(seed);
+        let spec = match model_ix {
+            0 => PhyModelSpec::protocol(),
+            1 => PhyModelSpec::sinr(SinrParams::calibrated(topo.radius(), 3.0, 1.5)),
+            2 => PhyModelSpec::protocol().with_channels(3),
+            _ => PhyModelSpec::sinr(SinrParams::calibrated(topo.radius(), 3.5, 2.0))
+                .with_channels(2),
+        };
+        let model = spec.build(&topo);
+        let out = solve_anytime(&topo, src, &AlwaysAwake, &model, &budget(4_000));
+        prop_assert!(out.schedule.verify_with_model(&topo, &AlwaysAwake, &model).is_ok(),
+            "{} schedule failed verification", spec.label());
+        prop_assert_eq!(out.latency, out.schedule.latency());
+        for pair in out.trace.windows(2) {
+            prop_assert!(pair[1].latency < pair[0].latency, "trace not improving");
+            prop_assert!(pair[1].elapsed_ms >= pair[0].elapsed_ms);
+        }
+        prop_assert_eq!(out.trace.last().unwrap().latency, out.latency);
+    }
+
+    /// Duty-cycled instances: senders must additionally respect wake-ups,
+    /// which the verifier checks.
+    #[test]
+    fn duty_cycle_schedules_verify(seed in 0..64u64, rate in prop::sample::select(vec![5u32, 10, 50])) {
+        let (topo, src) = SyntheticDeployment::paper(70).sample(seed);
+        let wake = WindowedRandom::new(topo.len(), rate, seed ^ 0xD00F);
+        let out = solve_anytime(&topo, src, &wake, &wsn_phy::ProtocolModel, &budget(4_000));
+        prop_assert!(out.schedule.verify(&topo, &wake).is_ok());
+    }
+
+    /// Iteration budgets are bit-reproducible regardless of wall clock.
+    #[test]
+    fn iteration_budget_reproduces(seed in 0..32u64) {
+        let (topo, src) = SyntheticDeployment::paper(80).sample(seed);
+        let a = solve_anytime(&topo, src, &AlwaysAwake, &wsn_phy::ProtocolModel, &budget(6_000));
+        let b = solve_anytime(&topo, src, &AlwaysAwake, &wsn_phy::ProtocolModel, &budget(6_000));
+        prop_assert_eq!(a.latency, b.latency);
+        prop_assert_eq!(a.moves, b.moves);
+        prop_assert_eq!(a.schedule.entries, b.schedule.entries);
+    }
+}
+
+/// On paper-scale pinned instances a generous iteration budget recovers
+/// the exact tier's optimum (the ≤300-node OPT-match acceptance bar).
+#[test]
+fn generous_budget_matches_exact_opt_on_pinned_instances() {
+    use mlbs_core::{solve_opt, SearchConfig};
+    // Instances where the exact tier completes without beaming (verified
+    // offline with branch_cap 4096 / max_states 8M): true OPT is known.
+    let wide = SearchConfig {
+        branch_cap: 4096,
+        max_states: 8_000_000,
+        ..SearchConfig::default()
+    };
+    for &(n, seed) in &[(100usize, 0u64), (100, 1), (150, 0)] {
+        let (topo, src) = SyntheticDeployment::paper(n).sample(seed);
+        let opt = solve_opt(&topo, src, &AlwaysAwake, &wide);
+        assert!(opt.exact, "n={n} seed={seed}: exact tier hit its cap");
+        let out = solve_anytime(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &wsn_phy::ProtocolModel,
+            &budget(400_000),
+        );
+        out.schedule.verify(&topo, &AlwaysAwake).unwrap();
+        assert_eq!(
+            out.latency, opt.latency,
+            "n={n} seed={seed}: anytime {} vs OPT {}",
+            out.latency, opt.latency
+        );
+    }
+    // 300-node pins: exact search beams out at any affordable cap, so the
+    // bar is the beam search's best-known latency (anytime matches it on
+    // both pins today; `<=` keeps the pin robust if the beam improves).
+    for &seed in &[0u64, 1] {
+        let (topo, src) = SyntheticDeployment::paper(300).sample(seed);
+        let beam = solve_opt(&topo, src, &AlwaysAwake, &SearchConfig::default());
+        let out = solve_anytime(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &wsn_phy::ProtocolModel,
+            &budget(400_000),
+        );
+        out.schedule.verify(&topo, &AlwaysAwake).unwrap();
+        assert!(
+            out.latency <= beam.latency,
+            "n=300 seed={seed}: anytime {} worse than beam search {}",
+            out.latency,
+            beam.latency
+        );
+    }
+}

@@ -122,9 +122,14 @@ struct LayerRun<'a, S: WakeSchedule> {
 }
 
 impl<S: WakeSchedule> LayerRun<'_, S> {
-    /// `true` while `u` still has an uninformed neighbor.
+    /// `true` while `u` still has an uninformed neighbor (degree-local —
+    /// this runs per pending relay per slot, so it must not touch
+    /// `O(n/64)`-word sets on 100k-node instances).
     fn still_useful(&self, u: NodeId) -> bool {
-        self.topo.neighbor_set(u).difference_len(&self.informed) > 0
+        self.topo
+            .neighbors(u)
+            .iter()
+            .any(|&v| !self.informed.contains(v.idx()))
     }
 
     /// Colors an explicit candidate list against the current informed set
@@ -137,15 +142,13 @@ impl<S: WakeSchedule> LayerRun<'_, S> {
 
     /// Transmits `senders` (assumed conflict-free) in slot `self.t`.
     fn fire(&mut self, mut senders: Vec<NodeId>) {
-        let mut advance = NodeSet::new(self.topo.len());
         for &u in &senders {
-            advance.union_with(self.topo.neighbor_set(u));
+            for &w in self.topo.neighbors(u) {
+                if self.informed.insert(w.idx()) {
+                    self.receive_slot[w.idx()] = self.t;
+                }
+            }
         }
-        advance.difference_with(&self.informed);
-        for w in advance.iter() {
-            self.receive_slot[w] = self.t;
-        }
-        self.informed.union_with(&advance);
         senders.sort_unstable();
         self.entries.push(ScheduleEntry::new(self.t, senders));
         self.t += 1;

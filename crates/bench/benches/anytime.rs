@@ -1,0 +1,80 @@
+//! Anytime-tier benches: legalizer seed cost, full anytime search under an
+//! iteration budget, and the incumbent-vs-baseline latency embedded in the
+//! bench names. Doubles as the CI smoke (`--test`): the setup asserts the
+//! improving-bound trace is populated and every emitted schedule verifies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_anytime::{solve_anytime, AnytimeConfig, Budget};
+use wsn_dutycycle::AlwaysAwake;
+use wsn_phy::ProtocolModel;
+use wsn_topology::deploy::SyntheticDeployment;
+
+fn budget(iters: u64) -> AnytimeConfig {
+    AnytimeConfig {
+        budget: Budget::Iterations(iters),
+        ..AnytimeConfig::default()
+    }
+}
+
+fn bench_anytime_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anytime_search");
+    group.sample_size(10);
+    for nodes in [300usize, 1_000] {
+        let (topo, src) = SyntheticDeployment::scaled(nodes).sample(3);
+        let cfg = budget(20_000);
+        let out = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg);
+        // CI smoke assertions: the anytime contract, independent of speed.
+        assert!(
+            !out.trace.is_empty(),
+            "improving-bound trace must be populated"
+        );
+        assert_eq!(out.trace.last().unwrap().latency, out.latency);
+        out.schedule
+            .verify(&topo, &AlwaysAwake)
+            .expect("anytime schedule must verify");
+        let baseline = wsn_baselines::schedule_26_approx(&topo, src);
+        assert!(
+            out.latency <= baseline.latency(),
+            "anytime ({}) must not lose to the layered baseline ({})",
+            out.latency,
+            baseline.latency()
+        );
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("n{nodes}(P={},base={})", out.latency, baseline.latency()),
+                nodes,
+            ),
+            &nodes,
+            |b, _| {
+                b.iter(|| solve_anytime(black_box(&topo), src, &AlwaysAwake, &ProtocolModel, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_seed(c: &mut Criterion) {
+    // The zero-iteration path isolates the legalizer's greedy construction
+    // — the per-pass cost floor of the whole tier.
+    let mut group = c.benchmark_group("anytime_greedy_seed");
+    group.sample_size(10);
+    for nodes in [1_000usize, 10_000] {
+        let (topo, src) = SyntheticDeployment::scaled(nodes).sample(3);
+        let cfg = budget(0);
+        let out = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg);
+        assert!(!out.trace.is_empty());
+        out.schedule.verify(&topo, &AlwaysAwake).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{nodes}(P={})", out.latency), nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| solve_anytime(black_box(&topo), src, &AlwaysAwake, &ProtocolModel, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anytime_search, bench_greedy_seed);
+criterion_main!(benches);

@@ -14,9 +14,10 @@
 //! 5. Theorem 1 holds on every instance (latency ≤ d+2 / 2r(d+2)).
 
 use mlbs_core::{solve_opt_with, BroadcastState, SearchConfig, SearchOutcome};
+use wsn_anytime::{solve_anytime, AnytimeConfig, Budget};
 use wsn_bench::{AdaptiveBudget, FigureOpts};
 use wsn_dutycycle::{AlwaysAwake, WindowedRandom};
-use wsn_phy::{PhyModelSpec, SinrParams};
+use wsn_phy::{PhyModelSpec, ProtocolModel, SinrParams};
 use wsn_sim::{Algorithm, Regime, Sweep, SweepResult};
 use wsn_topology::deploy::{SyntheticDeployment, PAPER_RADIUS};
 
@@ -213,6 +214,180 @@ fn emit_phy_baseline(path: &str, opts: &FigureOpts) {
     }
 }
 
+/// Emits `BENCH_anytime.json`: the anytime tabu/PARTIALCOL tier against
+/// the constructive baselines (26-approx layered, CDS-layered) on scaled
+/// deployments up to `max_nodes`, each anytime run under a wall-clock
+/// budget with its improving-bound trace recorded; plus the ≤300-node
+/// OPT-match pins and the witness-cache crossover measurement at 10k
+/// protocol nodes (the `set_witness_retest_min_universe` tuning input).
+fn emit_anytime_baseline(path: &str, max_nodes: usize) {
+    let scales: &[(usize, u64)] = &[(1_000, 2_000), (10_000, 5_000), (100_000, 10_000)];
+    let mut rows = Vec::new();
+    for &(n, budget_ms) in scales.iter().filter(|&&(n, _)| n <= max_nodes) {
+        let (topo, src) = SyntheticDeployment::scaled(n).sample(7);
+        let t0 = std::time::Instant::now();
+        let layered = wsn_baselines::schedule_26_approx(&topo, src);
+        let layered_us = t0.elapsed().as_micros();
+        let t0 = std::time::Instant::now();
+        let cds = wsn_baselines::schedule_cds_layered(&topo, src);
+        let cds_us = t0.elapsed().as_micros();
+        let cfg = AnytimeConfig {
+            budget: Budget::WallClockMs(budget_ms),
+            ..AnytimeConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let any = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg);
+        let any_us = t0.elapsed().as_micros();
+        any.schedule
+            .verify(&topo, &AlwaysAwake)
+            .expect("anytime schedule must verify");
+        let best_base = layered.latency().min(cds.latency());
+        check(
+            &format!("anytime beats constructive baselines at {n} nodes"),
+            any.latency < best_base || (n < 10_000 && any.latency <= best_base),
+            format!(
+                "anytime {} vs 26-approx {} / cds {} within {budget_ms}ms",
+                any.latency,
+                layered.latency(),
+                cds.latency()
+            ),
+        );
+        let trace = any
+            .trace
+            .iter()
+            .map(|p| format!("[{}, {}]", p.elapsed_ms, p.latency))
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(format!(
+            "    {{\"nodes\": {n}, \"budget_ms\": {budget_ms}, \
+             \"anytime_latency\": {}, \"anytime_wall_us\": {any_us}, \
+             \"proved_optimal\": {}, \"moves\": {}, \"passes\": {}, \"restarts\": {}, \
+             \"layered_latency\": {}, \"layered_wall_us\": {layered_us}, \
+             \"cds_latency\": {}, \"cds_wall_us\": {cds_us}, \
+             \"trace_ms_latency\": [{trace}]}}",
+            any.latency,
+            any.proved_optimal,
+            any.moves,
+            any.passes,
+            any.restarts,
+            layered.latency(),
+            cds.latency()
+        ));
+    }
+
+    // ≤300-node pins: a generous deterministic budget must recover the
+    // exact tier's result (true OPT where the wide search completes).
+    let wide = SearchConfig {
+        branch_cap: 4096,
+        max_states: 8_000_000,
+        ..SearchConfig::default()
+    };
+    let mut pins = Vec::new();
+    for &(n, seed) in &[(100usize, 0u64), (100, 1), (150, 0), (300, 0), (300, 1)] {
+        let (topo, src) = SyntheticDeployment::paper(n).sample(seed);
+        let cfg = if n <= 150 {
+            wide.clone()
+        } else {
+            SearchConfig::default()
+        };
+        let opt = solve_opt_with(&topo, src, &AlwaysAwake, &cfg, &mut BroadcastState::new());
+        let any = solve_anytime(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &ProtocolModel,
+            &AnytimeConfig {
+                budget: Budget::Iterations(400_000),
+                ..AnytimeConfig::default()
+            },
+        );
+        check(
+            &format!("anytime matches exact tier at n={n} seed={seed}"),
+            any.latency <= opt.latency,
+            format!(
+                "anytime {} vs {} {} ",
+                any.latency,
+                if opt.exact { "OPT" } else { "beam-OPT" },
+                opt.latency
+            ),
+        );
+        pins.push(format!(
+            "    {{\"nodes\": {n}, \"seed\": {seed}, \"opt_latency\": {}, \
+             \"opt_exact\": {}, \"anytime_latency\": {}}}",
+            opt.latency, opt.exact, any.latency
+        ));
+    }
+
+    // Witness-cache crossover at 10k protocol nodes: time a delta-update
+    // shrink sequence with the cache forced on (min_universe = 0), forced
+    // off (usize::MAX), and the auto-tuned default band (cache only while
+    // the predicate lacks a degree-local path). The default should track
+    // the winner — at 10k the degree-local protocol predicate.
+    let (wit_on_us, wit_off_us, wit_auto_us) = {
+        use wsn_bitset::NodeSet;
+        use wsn_interference::ConflictGraphBuilder;
+        let n = 10_000.min(max_nodes.max(1_000));
+        let (topo, src) = SyntheticDeployment::scaled(n).sample(7);
+        let seedsched = solve_anytime(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &ProtocolModel,
+            &AnytimeConfig {
+                budget: Budget::Iterations(0),
+                ..AnytimeConfig::default()
+            },
+        );
+        let relays: Vec<_> = seedsched
+            .schedule
+            .entries
+            .iter()
+            .flat_map(|e| e.senders.iter().copied())
+            .collect();
+        let time_mode = |min_universe: usize| {
+            let mut b = ConflictGraphBuilder::new();
+            b.set_witness_retest_min_universe(min_universe);
+            let mut unf = NodeSet::full(topo.len());
+            unf.remove(src.idx());
+            let t0 = std::time::Instant::now();
+            b.update_with(&ProtocolModel, &topo, &relays, &unf);
+            for step in 0..8usize {
+                for idx in (step * 100..(step + 1) * 100).map(|i| (i * 97) % topo.len()) {
+                    unf.remove(idx);
+                }
+                b.update_with(&ProtocolModel, &topo, &relays, &unf);
+            }
+            t0.elapsed().as_micros()
+        };
+        (
+            time_mode(0),
+            time_mode(usize::MAX),
+            time_mode(wsn_interference::WITNESS_RETEST_MIN_UNIVERSE),
+        )
+    };
+    check(
+        "witness-retest default tracks the measured winner at 10k nodes",
+        wit_auto_us as f64 <= 1.25 * (wit_on_us.min(wit_off_us) as f64),
+        format!(
+            "auto-tuned band {wit_auto_us}us vs forced-cache {wit_on_us}us / \
+             forced-predicate {wit_off_us}us"
+        ),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"anytime\",\n  \"budget_rule\": \"wall-clock\",\n  \
+         \"scales\": [\n{}\n  ],\n  \"opt_pins\": [\n{}\n  ],\n  \
+         \"witness_crossover_10k\": {{\"cached_us\": {wit_on_us}, \"predicate_us\": {wit_off_us}, \
+         \"auto_band_us\": {wit_auto_us}}}\n}}\n",
+        rows.join(",\n"),
+        pins.join(",\n")
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[claims] wrote {path}"),
+        Err(e) => eprintln!("[claims] could not write {path}: {e}"),
+    }
+}
+
 fn max_gap(result: &SweepResult, a: &str, b: &str) -> f64 {
     result
         .points
@@ -239,6 +414,22 @@ fn main() {
     if std::env::args().any(|a| a == "--phy-bench-only") {
         // Model-axis quick-look: BENCH_phy.json alone.
         emit_phy_baseline("BENCH_phy.json", &opts);
+        return;
+    }
+    if std::env::args().any(|a| a == "--anytime-bench-only") {
+        // Anytime-tier quick-look: BENCH_anytime.json alone.
+        // `--anytime-max-nodes N` caps the scale axis (CI uses 10k).
+        let mut max_nodes = 100_000usize;
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--anytime-max-nodes" {
+                max_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--anytime-max-nodes needs a number");
+            }
+        }
+        emit_anytime_baseline("BENCH_anytime.json", max_nodes);
         return;
     }
     emit_substrate_baseline("BENCH_substrate.json");

@@ -12,12 +12,18 @@
 //! * [`max_angular_gap`] — the largest empty angular sector among a node's
 //!   neighbor bearings, used by the boundary-construction step (the paper's
 //!   reference \[6\]): a node whose neighbors leave a wide empty sector
-//!   faces open space and lies on the network edge.
+//!   faces open space and lies on the network edge;
+//! * [`CellGrid`] — a uniform spatial hash for radius-bounded neighbor and
+//!   pair queries, the near-linear substitute for all-pairs scans in
+//!   topology construction, gain tables and conflict-pair enumeration at
+//!   10k–100k nodes.
 
+mod grid;
 mod hull;
 mod point;
 mod quadrant;
 
+pub use grid::CellGrid;
 pub use hull::{convex_hull, polygon_area};
 pub use point::{Point, Rect};
 pub use quadrant::{max_angular_gap, Quadrant};

@@ -44,6 +44,7 @@
 use crate::ConflictGraph;
 use std::collections::HashMap;
 use wsn_bitset::NodeSet;
+use wsn_geom::CellGrid;
 use wsn_phy::{ConflictModel, ProtocolModel, WitnessLocality};
 use wsn_topology::{NodeId, Topology};
 
@@ -88,7 +89,10 @@ const NO_SLOT: u32 = u32::MAX;
 /// Default universe size (in nodes) above which retests go through the
 /// cached witness sets. Below it a `NodeSet` spans only a few words and the
 /// fused triple intersection is faster than any cache (measured on the
-/// paper grid); above it witness scans avoid touching ever-wider word rows.
+/// paper grid); above it witness scans avoid touching ever-wider word rows
+/// — up to the point where the predicate's own degree-local path takes
+/// over (universe > 64·(deg u + deg v), re-measured at 10k nodes in
+/// `BENCH_anytime.json`), past which retests go fresh again.
 /// Tunable per builder via
 /// [`ConflictGraphBuilder::set_witness_retest_min_universe`]; the
 /// `witness_threshold` group in the `substrates` bench measures both sides
@@ -96,6 +100,12 @@ const NO_SLOT: u32 = u32::MAX;
 /// Models with [`ConflictModel::prefers_witness_cache`] (SINR) bypass the
 /// threshold: their predicate is always costlier than a witness scan.
 pub const WITNESS_RETEST_MIN_UNIVERSE: usize = 1024;
+
+/// Candidate count above which a from-scratch build enumerates pairs
+/// through a spatial grid (when the model certifies a
+/// [`ConflictModel::witness_range`]) instead of testing all `O(k²)` pairs.
+/// Below this the grid's construction overhead dwarfs the saved tests.
+const SPATIAL_BUILD_MIN_CANDIDATES: usize = 64;
 
 /// Reusable, incrementally-updated [`ConflictGraph`] factory.
 ///
@@ -242,6 +252,31 @@ impl ConflictGraphBuilder {
         &self.graph
     }
 
+    /// The pair's witness set (sorted ascending), computed on first touch
+    /// and cached in the builder's arena for the lifetime of the
+    /// `(topology, model)` binding — the same cache retests read, exposed
+    /// so schedulers layered on the builder (e.g. the anytime local-search
+    /// tier) can derive per-pair conflict deadlines without recollecting.
+    ///
+    /// Must be called under the same `(topology, model)` the last update
+    /// ran with; a mismatch would silently mix witness semantics, so it
+    /// panics instead.
+    pub fn witnesses<M: ConflictModel>(
+        &mut self,
+        model: &M,
+        topo: &Topology,
+        u: NodeId,
+        v: NodeId,
+    ) -> &[u32] {
+        assert_eq!(
+            (topo.token(), model.fingerprint()),
+            (self.topo_token, self.model_fp),
+            "witnesses() requires the (topology, model) pair of the last update"
+        );
+        let (off, len) = self.witness_range(model, topo, u, v);
+        &self.warena[off..off + len]
+    }
+
     /// Produces the protocol-model conflict graph of `candidates` against
     /// `uninformed`, reusing as much of the previous graph as the delta
     /// allows. Row indices match `candidates` order exactly, as with
@@ -355,8 +390,19 @@ impl ConflictGraphBuilder {
         v: NodeId,
         unf: &NodeSet,
     ) -> bool {
-        if !model.prefers_witness_cache() && self.universe < self.witness_min_universe {
-            return self.pair_conflicts_fresh(model, topo, u, v, unf);
+        if !model.prefers_witness_cache() && self.witness_min_universe > 0 {
+            // The fresh predicate wins on both sides of the cache band:
+            // below `witness_min_universe` the fused bitset intersection
+            // spans only a few words, and above 64·(deg u + deg v) the
+            // protocol predicate switches to its degree-local sorted-merge
+            // path — O(du+dv) regardless of universe width — which the 10k
+            // crossover re-measurement (BENCH_anytime.json) shows beating
+            // cached witness scans. Forcing via the knob still works:
+            // 0 = always cache, `usize::MAX` = never.
+            let degree_local = self.universe > 64 * (topo.degree(u) + topo.degree(v));
+            if self.universe < self.witness_min_universe || degree_local {
+                return self.pair_conflicts_fresh(model, topo, u, v, unf);
+            }
         }
         let (off, len) = self.witness_range(model, topo, u, v);
         self.stats.pair_tests += 1;
@@ -404,6 +450,14 @@ impl ConflictGraphBuilder {
     }
 
     /// From-scratch build into the reused row arena.
+    ///
+    /// When the model certifies a geometric witness bound
+    /// ([`ConflictModel::witness_range`]) and the candidate list is large,
+    /// candidate pairs are enumerated through a [`CellGrid`] instead of
+    /// all-pairs: pairs farther apart than the bound provably have empty
+    /// witness sets, so skipping them leaves the graph bit-identical while
+    /// the pair-test count drops from `O(k²)` to the geometric pair count —
+    /// the difference that makes 10k–100k-candidate builds near-linear.
     fn full_build<M: ConflictModel>(
         &mut self,
         model: &M,
@@ -419,11 +473,31 @@ impl ConflictGraphBuilder {
             self.slot_of[u.idx()] = i as u32;
         }
         prepare_rows(&mut self.graph.rows, k);
-        for i in 0..k {
-            for j in (i + 1)..k {
-                if self.pair_conflicts_fresh(model, topo, candidates[i], candidates[j], unf) {
+        let spatial = if k >= SPATIAL_BUILD_MIN_CANDIDATES {
+            model.witness_range(topo)
+        } else {
+            None
+        };
+        if let Some(range) = spatial {
+            let ids: Vec<u32> = candidates.iter().map(|c| c.0).collect();
+            let grid = CellGrid::build_subset(topo.positions(), &ids, range);
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            grid.for_each_pair_within(topo.positions(), range, |a, b| pairs.push((a, b)));
+            for (a, b) in pairs {
+                let i = self.slot_of[a as usize] as usize;
+                let j = self.slot_of[b as usize] as usize;
+                if self.pair_conflicts_fresh(model, topo, NodeId(a), NodeId(b), unf) {
                     self.graph.rows[i].insert(j);
                     self.graph.rows[j].insert(i);
+                }
+            }
+        } else {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    if self.pair_conflicts_fresh(model, topo, candidates[i], candidates[j], unf) {
+                        self.graph.rows[i].insert(j);
+                        self.graph.rows[j].insert(i);
+                    }
                 }
             }
         }
@@ -1017,5 +1091,58 @@ mod tests {
         let spanned: usize = b.witness.values().map(|&(_, l)| l as usize).sum();
         assert_eq!(spanned, b.warena.len());
         assert!(b.warena.len() >= arena);
+    }
+
+    #[test]
+    fn spatial_full_build_matches_all_pairs() {
+        // Enough candidates to trigger the CellGrid pair enumeration for
+        // models that certify a witness range; graphs must be bit-identical
+        // to the all-pairs scratch build (skipped pairs provably have empty
+        // witness sets).
+        let t = line(300);
+        let cands: Vec<NodeId> = (0..150).map(|i| NodeId(i as u32 * 2)).collect();
+        assert!(cands.len() >= SPATIAL_BUILD_MIN_CANDIDATES);
+        let mut unf = NodeSet::full(300);
+        for informed in [0usize, 17, 33, 120] {
+            unf.remove(informed);
+        }
+        let mut b = ConflictGraphBuilder::new();
+        assert_graphs_equal(
+            b.update(&t, &cands, &unf),
+            &ConflictGraph::build(&t, &cands, &unf),
+        );
+        let sinr = SinrModel::new(SinrParams::calibrated(t.radius(), 3.0, 1.5), &t);
+        let mut bs = ConflictGraphBuilder::new();
+        assert_graphs_equal(
+            bs.update_with(&sinr, &t, &cands, &unf),
+            &ConflictGraph::build_with_model(&sinr, &t, &cands, &unf),
+        );
+    }
+
+    #[test]
+    fn public_witness_accessor_matches_model() {
+        let t = line(20);
+        let cands: Vec<NodeId> = (0..10).map(|i| NodeId(i as u32)).collect();
+        let unf = NodeSet::full(20);
+        let mut b = ConflictGraphBuilder::new();
+        b.update(&t, &cands, &unf);
+        let mut expect = Vec::new();
+        for (i, &u) in cands.iter().enumerate() {
+            for &v in &cands[i + 1..] {
+                ProtocolModel.collect_witnesses(&t, u, v, &mut expect);
+                assert_eq!(b.witnesses(&ProtocolModel, &t, u, v), expect.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the (topology, model)")]
+    fn public_witness_accessor_rejects_stale_binding() {
+        let t = line(20);
+        let other = line(20);
+        let cands: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut b = ConflictGraphBuilder::new();
+        b.update(&t, &cands, &NodeSet::full(20));
+        b.witnesses(&ProtocolModel, &other, NodeId(0), NodeId(1));
     }
 }

@@ -79,6 +79,11 @@ impl<M: ConflictModel> ConflictModel for MultiChannel<M> {
     fn prefers_witness_cache(&self) -> bool {
         self.inner.prefers_witness_cache()
     }
+
+    #[inline]
+    fn witness_range(&self, topo: &Topology) -> Option<f64> {
+        self.inner.witness_range(topo)
+    }
 }
 
 /// The concrete model combinations the workspace ships, behind one
@@ -153,6 +158,10 @@ impl ConflictModel for PhyModel {
 
     fn prefers_witness_cache(&self) -> bool {
         dispatch!(self, m => m.prefers_witness_cache())
+    }
+
+    fn witness_range(&self, topo: &Topology) -> Option<f64> {
+        dispatch!(self, m => m.witness_range(topo))
     }
 }
 

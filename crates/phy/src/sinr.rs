@@ -3,6 +3,7 @@
 use crate::{ConflictModel, ReceptionOutcome, WitnessLocality};
 use std::sync::Arc;
 use wsn_bitset::NodeSet;
+use wsn_geom::CellGrid;
 use wsn_topology::{NodeId, Topology};
 
 /// SINR model parameters. All senders share one transmit `power`; the gain
@@ -96,27 +97,26 @@ pub struct GainTable {
 }
 
 impl GainTable {
-    /// Computes all in-cutoff pairwise gains of `topo` (`O(n²)` distance
-    /// tests, done once per topology; every later SINR evaluation is a
-    /// lookup).
+    /// Computes all in-cutoff pairwise gains of `topo`, done once per
+    /// topology; every later SINR evaluation is a lookup. Candidate pairs
+    /// come from a [`CellGrid`] over the positions, so construction is
+    /// near-linear at constant density instead of `O(n²)` distance tests.
     pub fn build(topo: &Topology, alpha: f64, cutoff: f64) -> GainTable {
         let n = topo.len();
         let c2 = cutoff * cutoff;
+        let positions = topo.positions();
+        let grid = CellGrid::build(positions, cutoff);
         let mut starts = Vec::with_capacity(n + 1);
         let mut ids = Vec::new();
         let mut gains = Vec::new();
         starts.push(0);
         for u in 0..n {
-            let pu = topo.position(NodeId(u as u32));
-            for w in 0..n {
-                if w == u {
-                    continue;
-                }
-                let d2 = topo.position(NodeId(w as u32)).dist2(&pu);
-                if d2 <= c2 {
-                    ids.push(w as u32);
-                    gains.push(d2.powf(-alpha / 2.0));
-                }
+            let pu = positions[u];
+            for w in grid.neighbors_within(positions, u as u32, cutoff) {
+                let d2 = positions[w as usize].dist2(&pu);
+                debug_assert!(d2 <= c2);
+                ids.push(w);
+                gains.push(d2.powf(-alpha / 2.0));
             }
             starts.push(ids.len() as u32);
         }
@@ -325,6 +325,17 @@ impl ConflictModel for SinrModel {
     #[inline]
     fn prefers_witness_cache(&self) -> bool {
         true
+    }
+
+    fn witness_range(&self, topo: &Topology) -> Option<f64> {
+        // Sound only when every in-range link decodes against noise alone
+        // (worst in-range gain = radius^−α): then a witness must suffer
+        // nonzero interference, which the gain table truncates at `cutoff`,
+        // so the two senders sit within radius + cutoff of each other. If
+        // noise alone can break an in-range link, that receiver witnesses
+        // pairs at any distance and no geometric bound exists.
+        self.delivers(topo.radius().powf(-self.params.alpha), 0.0)
+            .then_some(topo.radius() + self.params.cutoff)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::{Csr, NodeId};
 use wsn_bitset::NodeSet;
-use wsn_geom::{Point, Quadrant};
+use wsn_geom::{CellGrid, Point, Quadrant};
 
 /// A WSN topology under the unit-disk-graph model.
 ///
@@ -47,39 +47,14 @@ impl Topology {
             "positions must be finite"
         );
         let n = positions.len();
-        let r2 = radius * radius;
 
-        // Grid-bucket candidate generation.
-        let (min_x, min_y) = positions
-            .iter()
-            .fold((0.0f64, 0.0f64), |(ax, ay), p| (ax.min(p.x), ay.min(p.y)));
-        let cell = |p: &Point| -> (i64, i64) {
-            (
-                ((p.x - min_x) / radius).floor() as i64,
-                ((p.y - min_y) / radius).floor() as i64,
-            )
-        };
-        let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
-            std::collections::HashMap::new();
-        for (i, p) in positions.iter().enumerate() {
-            buckets.entry(cell(p)).or_default().push(i as u32);
-        }
-
+        // Spatial-hash candidate generation (shared with gain tables and
+        // conflict-pair enumeration via `wsn_geom::CellGrid`).
+        let grid = CellGrid::build(&positions, radius);
         let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-        for (i, p) in positions.iter().enumerate() {
-            let (cx, cy) = cell(p);
-            for dx in -1..=1 {
-                for dy in -1..=1 {
-                    if let Some(cands) = buckets.get(&(cx + dx, cy + dy)) {
-                        for &j in cands {
-                            if (j as usize) > i && positions[j as usize].dist2(p) <= r2 {
-                                edges.push((NodeId(i as u32), NodeId(j)));
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        grid.for_each_pair_within(&positions, radius, |i, j| {
+            edges.push((NodeId(i), NodeId(j)));
+        });
 
         Self::from_parts(positions, radius, Csr::from_edges(n, &edges))
     }

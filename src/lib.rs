@@ -46,6 +46,7 @@
 //! | [`phy`] | `wsn-phy` | pluggable conflict models: protocol, pairwise SINR, multi-channel |
 //! | [`interference`] | `wsn-interference` | conflict predicates, incremental conflict graphs, collision resolution |
 //! | [`coloring`] | `wsn-coloring` | greedy scheme, Eq. (1) validity, enumeration, broadcast-state substrate |
+//! | [`anytime`] | `wsn-anytime` | tabu/PARTIALCOL anytime local search for 10k–100k-node networks |
 //! | [`baselines`] | `wsn-baselines` | 26-/17-approximation, CDS, flooding |
 //! | [`distributed`] | `wsn-distributed` | localized scheduling, distributed E-model (§VII) |
 //! | [`sim`] | `wsn-sim` | experiment sweeps, statistics, CSV |
@@ -94,8 +95,22 @@
 //! builder keys its caches on the model fingerprint and maintains any
 //! model's graph by delta through its witness-set factorization (see the
 //! DESIGN note in `wsn-phy`).
+//!
+//! ## The anytime tier
+//!
+//! Beyond the exact tier's reach (a few hundred nodes),
+//! [`anytime::solve_anytime`] runs a tabu/PARTIALCOL local search under a
+//! wall-clock or deterministic iteration budget: a greedy legalizer seeds
+//! a valid schedule in `O(E)`, a `PartialSchedule` delta-evaluates
+//! single-relay moves in `O(degree)` over the frozen conflict structure,
+//! and every incumbent is re-simulated and re-verified under the real
+//! conflict model. Spatial-hash neighbor queries ([`geom::CellGrid`])
+//! keep topology and conflict-row construction near-linear, so 10k–100k
+//! node networks schedule within seconds ([`sim::Algorithm::Anytime`],
+//! `claims --anytime-bench-only` → `BENCH_anytime.json`).
 
 pub use mlbs_core as core;
+pub use wsn_anytime as anytime;
 pub use wsn_baselines as baselines;
 pub use wsn_bench as bench;
 pub use wsn_bitset as bitset;
@@ -116,6 +131,7 @@ pub mod prelude {
         ColorSelector, EModel, EModelSelector, MaxReceiversSelector, PipelineConfig, Schedule,
         ScheduleEntry, ScheduleError, SearchConfig, SearchOutcome,
     };
+    pub use wsn_anytime::{solve_anytime, AnytimeConfig, AnytimeOutcome, Budget, TracePoint};
     pub use wsn_baselines::{
         flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered, schedule_layered,
         schedule_layered_with, LayeredMode,

@@ -1,0 +1,144 @@
+//! Warm-start schedule cache: remember the best schedule per
+//! `(topology token, model fingerprint, source)` and feed it back to the
+//! legalizer as hints on the next solve of the same instance.
+//!
+//! The anytime driver's cold start pays a full greedy construction plus
+//! the whole climb back to the incumbent; a churn re-run or a repeated
+//! sweep point pays it again for an answer it already had. A cache hit
+//! skips the climb: the previous incumbent goes in as the *first*
+//! legalization's hints, so the chain starts at (not near) the old
+//! incumbent for the price of one legalizer replay — well under 10 % of a
+//! cold run's wall time on the bench scales.
+//!
+//! Keying on [`Topology::token`] (process-unique per construction) makes
+//! hits conservative by design: a freshly sampled topology can never
+//! collide with a cached one, only a *held* topology re-solved under the
+//! same model and source hits. The wake schedule is deliberately absent
+//! from the key — the legalizer silently skips hinted senders that are
+//! asleep or stale, so a hint recorded under a different duty-cycle
+//! regime degrades gracefully instead of corrupting anything.
+
+use mlbs_core::Schedule;
+use std::collections::HashMap;
+use wsn_dutycycle::WakeSchedule;
+use wsn_phy::ConflictModel;
+use wsn_topology::{NodeId, Topology};
+
+use crate::driver::{run_chain, AnytimeConfig, AnytimeOutcome, ChainCtx};
+
+/// Best-so-far schedules keyed on `(topology token, model fingerprint,
+/// source)`. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleCache {
+    map: HashMap<(u64, u64, u32), Schedule>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> ScheduleCache {
+        ScheduleCache::default()
+    }
+
+    /// The cached incumbent for `(topo, model, source)`, if any. Counts a
+    /// hit or a miss.
+    pub fn lookup<M: ConflictModel>(
+        &mut self,
+        topo: &Topology,
+        model: &M,
+        source: NodeId,
+    ) -> Option<Schedule> {
+        let key = (topo.token(), model.fingerprint(), source.0);
+        match self.map.get(&key) {
+            Some(s) => {
+                self.hits += 1;
+                Some(s.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records `schedule` for `(topo, model, source)`, keeping whichever
+    /// of the stored and offered schedules has the lower latency.
+    pub fn observe<M: ConflictModel>(
+        &mut self,
+        topo: &Topology,
+        model: &M,
+        source: NodeId,
+        schedule: &Schedule,
+    ) {
+        let key = (topo.token(), model.fingerprint(), source.0);
+        match self.map.get_mut(&key) {
+            Some(held) => {
+                if schedule.latency() < held.latency() {
+                    *held = schedule.clone();
+                }
+            }
+            None => {
+                self.map.insert(key, schedule.clone());
+            }
+        }
+    }
+
+    /// Number of cached schedules.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found a schedule.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached schedule and resets the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// [`solve_anytime`](crate::solve_anytime) with a warm-start cache: a hit
+/// seeds the chain's first legalization with the cached incumbent, and the
+/// run's best schedule is folded back into the cache either way.
+pub fn solve_anytime_cached<S: WakeSchedule, M: ConflictModel>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    model: &M,
+    config: &AnytimeConfig,
+    cache: &mut ScheduleCache,
+) -> AnytimeOutcome {
+    let warm = cache.lookup(topo, model, source);
+    let out = run_chain(
+        topo,
+        source,
+        wake,
+        model,
+        config,
+        ChainCtx {
+            shared: None,
+            warm: warm.as_ref(),
+        },
+    );
+    cache.observe(topo, model, source, &out.schedule);
+    out
+}

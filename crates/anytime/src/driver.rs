@@ -2,6 +2,12 @@
 //! compression passes, TabuCol squash-repair kicks and randomized greedy
 //! restarts until the budget runs out, keeping the best verified schedule
 //! and an improving-bound trace.
+//!
+//! [`solve_anytime`] runs one search chain. The same chain body
+//! ([`run_chain`]) also powers the parallel [`Portfolio`](crate::Portfolio)
+//! — a chain can start from a warm schedule (cache hits) and, under
+//! wall-clock budgets, exchange incumbents with sibling chains through a
+//! [`SharedBest`](crate::portfolio::SharedBest).
 
 use mlbs_core::Schedule;
 use rand::rngs::StdRng;
@@ -14,6 +20,7 @@ use wsn_topology::{metrics, NodeId, Topology};
 
 use crate::legalize::{Hints, Legalizer};
 use crate::partial::{PartialSchedule, StepOutcome};
+use crate::portfolio::SharedBest;
 
 /// When the anytime search stops.
 ///
@@ -75,6 +82,37 @@ pub struct TracePoint {
     pub latency: Slot,
 }
 
+/// What produced a [`DetailPoint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A candidate was accepted as the new incumbent.
+    Incumbent,
+    /// A compression/repair pass closed with this candidate latency
+    /// (accepted or not).
+    PassBest,
+    /// A randomized restart salvaged this candidate latency (accepted or
+    /// not).
+    RestartSalvage,
+}
+
+/// One point of the *detail* trace: every candidate the search produced,
+/// not only the accepted incumbents. At 100k nodes the incumbent trace can
+/// be a single entry while the search grinds through hundreds of passes —
+/// the detail trace is what makes that effort visible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetailPoint {
+    /// Milliseconds since the search started.
+    pub elapsed_ms: u64,
+    /// The candidate's latency.
+    pub latency: Slot,
+    /// What produced it.
+    pub kind: TraceKind,
+}
+
+/// Hard cap on detail-trace length so multi-hour runs cannot balloon the
+/// outcome; the incumbent trace is never truncated.
+const DETAIL_TRACE_CAP: usize = 16_384;
+
 /// Result of an anytime search.
 #[derive(Clone, Debug)]
 pub struct AnytimeOutcome {
@@ -86,6 +124,9 @@ pub struct AnytimeOutcome {
     /// Improving-bound trace, one point per incumbent (monotone
     /// non-increasing latency, starting with the greedy seed).
     pub trace: Vec<TracePoint>,
+    /// Every candidate produced (per-pass bests and restart salvages as
+    /// well as incumbents), capped at an internal length bound.
+    pub detail: Vec<DetailPoint>,
     /// Local-search moves spent.
     pub moves: u64,
     /// Compression/repair passes attempted.
@@ -112,8 +153,66 @@ impl Clock {
         }
     }
 
+    /// Deadline check inside a pass's move loop. Wall-clock budgets poll
+    /// every 16 moves — often enough that a pass cannot bill past the
+    /// deadline by more than a handful of cheap moves (the 100k scale used
+    /// to overshoot a 10 s budget by 25 ms on the old 64-move cadence).
+    /// Iteration budgets keep the historical 64-move cadence: their
+    /// exhaustion test is exact arithmetic, and changing the cadence would
+    /// change which move ends a pass — breaking bit-reproducibility
+    /// against recorded baselines.
+    fn mid_pass_exhausted(&self, pass_moves: u64) -> bool {
+        let cadence = match self.budget {
+            Budget::WallClockMs(_) => 16,
+            Budget::Iterations(_) => 64,
+        };
+        pass_moves.is_multiple_of(cadence) && self.exhausted()
+    }
+
     fn elapsed_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
+    }
+}
+
+/// Per-chain wiring for [`run_chain`]: how one search chain plugs into a
+/// portfolio (or doesn't).
+pub(crate) struct ChainCtx<'a> {
+    /// Shared incumbent exchange; `None` runs the chain standalone.
+    pub(crate) shared: Option<&'a SharedBest>,
+    /// Warm-start schedule fed to the first legalization as hints.
+    pub(crate) warm: Option<&'a Schedule>,
+}
+
+impl ChainCtx<'_> {
+    /// A standalone chain: no sharing, cold start.
+    pub(crate) fn standalone() -> ChainCtx<'static> {
+        ChainCtx {
+            shared: None,
+            warm: None,
+        }
+    }
+}
+
+/// Priority demotion applied to elite-signature nodes during biased
+/// restarts (portfolio diversity).
+const ELITE_BIAS_PENALTY: u32 = 2;
+
+/// Slot-keyed legalizer hints reproducing `schedule`'s sender placement.
+fn hints_of(schedule: &Schedule) -> Hints {
+    let mut hints = Hints::new();
+    for entry in &schedule.entries {
+        hints.insert(entry.slot, entry.senders.clone());
+    }
+    hints
+}
+
+fn push_detail(detail: &mut Vec<DetailPoint>, clock: &Clock, latency: Slot, kind: TraceKind) {
+    if detail.len() < DETAIL_TRACE_CAP {
+        detail.push(DetailPoint {
+            elapsed_ms: clock.elapsed_ms(),
+            latency,
+            kind,
+        });
     }
 }
 
@@ -137,6 +236,22 @@ pub fn solve_anytime<S: WakeSchedule, M: ConflictModel>(
     model: &M,
     config: &AnytimeConfig,
 ) -> AnytimeOutcome {
+    run_chain(topo, source, wake, model, config, ChainCtx::standalone())
+}
+
+/// One search chain — the body behind [`solve_anytime`] and every
+/// [`Portfolio`](crate::Portfolio) worker. With `ctx.shared == None` and
+/// `ctx.warm == None` this is bit-identical to the historical serial
+/// driver under iteration budgets (the sharing hooks and the warm seed are
+/// the only additions, and both are inert when absent).
+pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
+    topo: &Topology,
+    source: NodeId,
+    wake: &S,
+    model: &M,
+    config: &AnytimeConfig,
+    ctx: ChainCtx<'_>,
+) -> AnytimeOutcome {
     let hops = metrics::bfs_hops(topo, source);
     assert!(
         hops.iter().all(|&h| h != metrics::UNREACHABLE),
@@ -154,14 +269,17 @@ pub fn solve_anytime<S: WakeSchedule, M: ConflictModel>(
     let mut builder = ConflictGraphBuilder::new();
     let no_hints = Hints::new();
 
+    let warm_hints = ctx.warm.map(hints_of);
+    let seed_hints = warm_hints.as_ref().unwrap_or(&no_hints);
     let mut best = legalizer.legalize(
         topo,
         source,
         wake,
         model,
-        &no_hints,
+        seed_hints,
         config.start_from,
         0,
+        None,
         &mut rng,
     );
     debug_assert!(best.verify_with_model(topo, wake, model).is_ok());
@@ -169,18 +287,53 @@ pub fn solve_anytime<S: WakeSchedule, M: ConflictModel>(
         elapsed_ms: clock.elapsed_ms(),
         latency: best.latency(),
     }];
+    let mut detail = Vec::new();
+    push_detail(&mut detail, &clock, best.latency(), TraceKind::Incumbent);
+    if let Some(shared) = ctx.shared {
+        shared.offer(&best, topo.len());
+    }
     let mut passes = 0u64;
     let mut restarts = 0u64;
     let mut stalls = 0u32;
+    // Wall-clock budgets only: smoothed per-pass cost, so the loop can
+    // decline to start a pass the remaining budget clearly cannot fit
+    // (pass setup — frozen-structure builds, legalizations — is billed in
+    // deterministic moves but paid in real time the move cadence cannot
+    // see).
+    let mut pass_cost_ewma = 0.0f64;
 
     while best.latency() > depth && !clock.exhausted() {
+        if let Budget::WallClockMs(ms) = config.budget {
+            let remaining = ms.saturating_sub(clock.elapsed_ms()) as f64;
+            if pass_cost_ewma > 0.0 && remaining < pass_cost_ewma * 0.5 {
+                break;
+            }
+        }
+        let pass_started_ms = clock.elapsed_ms();
+
+        // Adopt a better incumbent published by a sibling chain.
+        if let Some(shared) = ctx.shared {
+            if let Some(elite) = shared.adopt_if_better(best.latency()) {
+                best = elite;
+                trace.push(TracePoint {
+                    elapsed_ms: clock.elapsed_ms(),
+                    latency: best.latency(),
+                });
+                push_detail(&mut detail, &clock, best.latency(), TraceKind::Incumbent);
+                stalls = 0;
+            }
+        }
+
         passes += 1;
         let kick = stalls >= config.stalls_before_kick;
-        let candidate = if kick && passes.is_multiple_of(2) {
+        let restarted = kick && passes.is_multiple_of(2);
+        let candidate = if restarted {
             // Kick A: randomized greedy restart (fresh construction with
-            // jittered priorities).
+            // jittered priorities), steered away from the shared elite's
+            // early-sender signature when running in a portfolio.
             restarts += 1;
             clock.moves += topo.len() as u64 / 64 + 1;
+            let bias_sig = ctx.shared.and_then(SharedBest::elite_signature);
             Some(legalizer.legalize(
                 topo,
                 source,
@@ -189,6 +342,7 @@ pub fn solve_anytime<S: WakeSchedule, M: ConflictModel>(
                 &no_hints,
                 config.start_from,
                 config.jitter,
+                bias_sig.as_ref().map(|sig| (sig, ELITE_BIAS_PENALTY)),
                 &mut rng,
             ))
         } else {
@@ -223,9 +377,7 @@ pub fn solve_anytime<S: WakeSchedule, M: ConflictModel>(
                         StepOutcome::Stuck => break,
                         StepOutcome::Progress => {}
                     }
-                    if pass_moves >= config.pass_move_cap
-                        || (pass_moves.is_multiple_of(64) && clock.exhausted())
-                    {
+                    if pass_moves >= config.pass_move_cap || clock.mid_pass_exhausted(pass_moves) {
                         break;
                     }
                 }
@@ -240,29 +392,55 @@ pub fn solve_anytime<S: WakeSchedule, M: ConflictModel>(
                     &hints,
                     config.start_from,
                     0,
+                    None,
                     &mut rng,
                 )
             })
         };
 
         match candidate {
-            Some(cand)
+            Some(cand) => {
+                let kind = if restarted {
+                    TraceKind::RestartSalvage
+                } else {
+                    TraceKind::PassBest
+                };
+                push_detail(&mut detail, &clock, cand.latency(), kind);
                 if cand.latency() < best.latency()
-                    && cand.verify_with_model(topo, wake, model).is_ok() =>
-            {
-                best = cand;
-                trace.push(TracePoint {
-                    elapsed_ms: clock.elapsed_ms(),
-                    latency: best.latency(),
-                });
-                stalls = 0;
-            }
-            _ => {
-                stalls += 1;
-                if kick {
-                    stalls = 0; // a kick resets the stall counter either way
+                    && cand.verify_with_model(topo, wake, model).is_ok()
+                {
+                    best = cand;
+                    trace.push(TracePoint {
+                        elapsed_ms: clock.elapsed_ms(),
+                        latency: best.latency(),
+                    });
+                    push_detail(&mut detail, &clock, best.latency(), TraceKind::Incumbent);
+                    if let Some(shared) = ctx.shared {
+                        shared.offer(&best, topo.len());
+                    }
+                    stalls = 0;
+                } else {
+                    stalls += 1;
+                    if kick {
+                        stalls = 0; // a kick resets the stall counter either way
+                    }
                 }
             }
+            None => {
+                stalls += 1;
+                if kick {
+                    stalls = 0;
+                }
+            }
+        }
+
+        if matches!(config.budget, Budget::WallClockMs(_)) {
+            let took = (clock.elapsed_ms() - pass_started_ms) as f64;
+            pass_cost_ewma = if pass_cost_ewma == 0.0 {
+                took
+            } else {
+                0.7 * pass_cost_ewma + 0.3 * took
+            };
         }
     }
 
@@ -272,6 +450,7 @@ pub fn solve_anytime<S: WakeSchedule, M: ConflictModel>(
         schedule: best,
         latency,
         trace,
+        detail,
         moves: clock.moves,
         passes,
         restarts,

@@ -68,7 +68,10 @@ impl Legalizer {
     /// their hinted slots (silently skipped when stale — not yet informed,
     /// asleep, already transmitted, or conflicting); the frontier fills the
     /// rest greedily by descending uninformed-degree, plus `jitter` random
-    /// priority noise when diversifying.
+    /// priority noise when diversifying. `bias`, when given, demotes the
+    /// priority of nodes in the set by the penalty — the portfolio uses it
+    /// to steer restarts away from the shared elite's early-sender
+    /// signature so parallel chains explore different basins.
     ///
     /// # Panics
     ///
@@ -84,6 +87,7 @@ impl Legalizer {
         hints: &Hints,
         start_from: Slot,
         jitter: u32,
+        bias: Option<(&NodeSet, u32)>,
         rng: &mut StdRng,
     ) -> Schedule {
         let n = topo.len();
@@ -123,7 +127,13 @@ impl Legalizer {
                     } else {
                         0
                     };
-                    self.order.push((self.useful[u.idx()] + noise, u));
+                    let mut priority = self.useful[u.idx()] + noise;
+                    if let Some((sig, penalty)) = bias {
+                        if sig.contains(u.idx()) {
+                            priority = priority.saturating_sub(penalty);
+                        }
+                    }
+                    self.order.push((priority, u));
                 }
             }
             self.order

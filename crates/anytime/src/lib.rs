@@ -23,13 +23,26 @@
 //! always valid, with the latency-vs-time trace that anytime algorithms
 //! are judged by. Budgets are wall-clock for benchmarking or
 //! iteration-counted for bit-reproducible sweeps ([`Budget`]).
+//!
+//! Two multipliers sit on top of the single chain: [`Portfolio`] races N
+//! independently-seeded chains on scoped threads (wall-clock chains
+//! exchange incumbents through a lock-light shared best; iteration-budget
+//! portfolios stay bit-reproducible and never lose to the serial driver),
+//! and [`ScheduleCache`] warm-starts repeat solves of a held instance from
+//! their previous incumbent ([`solve_anytime_cached`]).
 
+mod cache;
 mod driver;
 mod legalize;
 mod partial;
+mod portfolio;
 
-pub use driver::{solve_anytime, AnytimeConfig, AnytimeOutcome, Budget, TracePoint};
+pub use cache::{solve_anytime_cached, ScheduleCache};
+pub use driver::{
+    solve_anytime, AnytimeConfig, AnytimeOutcome, Budget, DetailPoint, TraceKind, TracePoint,
+};
 pub use partial::{PartialSchedule, StepOutcome};
+pub use portfolio::Portfolio;
 
 #[cfg(test)]
 mod tests {
@@ -79,6 +92,14 @@ mod tests {
             assert!(pair[1].elapsed_ms >= pair[0].elapsed_ms);
         }
         assert_eq!(out.trace.last().unwrap().latency, out.latency);
+        // The detail trace sees every candidate, not only incumbents: with
+        // thousands of passes it must be strictly richer than the
+        // incumbent trace.
+        assert!(out.detail.len() > out.trace.len());
+        assert!(out
+            .detail
+            .iter()
+            .any(|d| matches!(d.kind, TraceKind::PassBest | TraceKind::RestartSalvage)));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! tier's optimum on paper-scale pinned instances.
 
 use proptest::prelude::*;
-use wsn_anytime::{solve_anytime, AnytimeConfig, Budget};
+use wsn_anytime::{solve_anytime, AnytimeConfig, Budget, Portfolio};
 use wsn_dutycycle::{AlwaysAwake, WindowedRandom};
 use wsn_phy::{PhyModelSpec, SinrParams};
 use wsn_topology::deploy::SyntheticDeployment;
@@ -65,6 +65,26 @@ proptest! {
         let b = solve_anytime(&topo, src, &AlwaysAwake, &wsn_phy::ProtocolModel, &budget(6_000));
         prop_assert_eq!(a.latency, b.latency);
         prop_assert_eq!(a.moves, b.moves);
+        prop_assert_eq!(a.schedule.entries, b.schedule.entries);
+    }
+
+    /// Iteration-budget portfolios reproduce bit-identically at any fixed
+    /// thread count and never lose to the serial chain (worker 0 runs the
+    /// unsalted seed; the reduction is deterministic round-robin).
+    #[test]
+    fn iteration_portfolio_reproduces_and_never_loses(
+        seed in 0..32u64,
+        threads in 2usize..5,
+    ) {
+        let (topo, src) = SyntheticDeployment::paper(80).sample(seed);
+        let serial = solve_anytime(&topo, src, &AlwaysAwake, &wsn_phy::ProtocolModel, &budget(3_000));
+        let port = Portfolio::with_config(budget(3_000), threads);
+        let a = port.solve(&topo, src, &AlwaysAwake, &wsn_phy::ProtocolModel);
+        let b = port.solve(&topo, src, &AlwaysAwake, &wsn_phy::ProtocolModel);
+        prop_assert!(a.latency <= serial.latency, "portfolio lost to serial");
+        prop_assert_eq!(a.latency, b.latency);
+        prop_assert_eq!(a.moves, b.moves);
+        prop_assert_eq!(a.restarts, b.restarts);
         prop_assert_eq!(a.schedule.entries, b.schedule.entries);
     }
 }

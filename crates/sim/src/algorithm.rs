@@ -130,6 +130,35 @@ pub struct RunResult {
     pub baseline_bound: Slot,
 }
 
+/// Execution context for the anytime tier inside the runner: portfolio
+/// width and the warm-start schedule cache. The plain entry points
+/// ([`run_instance`] … [`run_instance_built`]) use a fresh single-chain
+/// context per call, which is bit-identical to the pre-portfolio driver;
+/// hot loops that re-solve held instances (sweep workers, the claims
+/// bench) hold one `AnytimeExec` and thread it through
+/// [`run_instance_exec`] so repeat solves warm-start from their previous
+/// incumbent.
+#[derive(Debug, Default)]
+pub struct AnytimeExec {
+    /// Portfolio chains racing per anytime solve (`0`/`1` = the serial
+    /// chain). Under the sweep's iteration budgets the portfolio is
+    /// bit-reproducible at any fixed width and never loses to width 1.
+    pub threads: usize,
+    /// Warm-start cache keyed on `(topology token, model fingerprint,
+    /// source)`; hits feed the legalizer the previous incumbent as hints.
+    pub cache: wsn_anytime::ScheduleCache,
+}
+
+impl AnytimeExec {
+    /// A context running `threads` portfolio chains with an empty cache.
+    pub fn with_threads(threads: usize) -> AnytimeExec {
+        AnytimeExec {
+            threads,
+            cache: wsn_anytime::ScheduleCache::new(),
+        }
+    }
+}
+
 /// Runs `algorithm` on one instance. The produced schedule is always passed
 /// through the independent verifier; a verification failure is a bug and
 /// panics.
@@ -213,10 +242,9 @@ pub fn run_instance_model(
     )
 }
 
-/// As [`run_instance_model`], with an already-built [`PhyModel`] — hot
-/// loops that run several algorithms on one `(instance, model)` pair
-/// (the sweep workers) build the model once (SINR gain tables cost
-/// `O(n²)`) and thread it through every algorithm.
+/// As [`run_instance_exec`], with a fresh single-chain [`AnytimeExec`] —
+/// the anytime tier runs the serial chain, bit-identical to
+/// [`wsn_anytime::solve_anytime`] under the same derived config.
 #[allow(clippy::too_many_arguments)]
 pub fn run_instance_built(
     topo: &Topology,
@@ -227,6 +255,36 @@ pub fn run_instance_built(
     search: &SearchConfig,
     model: &PhyModel,
     state: &mut BroadcastState,
+) -> RunResult {
+    run_instance_exec(
+        topo,
+        source,
+        regime,
+        algorithm,
+        wake_seed,
+        search,
+        model,
+        state,
+        &mut AnytimeExec::default(),
+    )
+}
+
+/// As [`run_instance_model`], with an already-built [`PhyModel`] and a
+/// caller-held [`AnytimeExec`] — hot loops that run several algorithms on
+/// one `(instance, model)` pair (the sweep workers) build the model once
+/// (SINR gain tables cost `O(n²)`) and thread model, substrate and
+/// anytime execution context through every algorithm.
+#[allow(clippy::too_many_arguments)]
+pub fn run_instance_exec(
+    topo: &Topology,
+    source: NodeId,
+    regime: Regime,
+    algorithm: Algorithm,
+    wake_seed: u64,
+    search: &SearchConfig,
+    model: &PhyModel,
+    state: &mut BroadcastState,
+    exec: &mut AnytimeExec,
 ) -> RunResult {
     assert!(
         model.is_default_protocol() || algorithm.supports_models(),
@@ -242,16 +300,19 @@ pub fn run_instance_built(
             model,
             search,
             state,
+            exec,
         ),
         Regime::Duty { rate } => {
             let wake = WindowedRandom::new(topo.len(), rate, wake_seed);
-            run_with(topo, source, regime, algorithm, &wake, model, search, state)
+            run_with(
+                topo, source, regime, algorithm, &wake, model, search, state, exec,
+            )
         }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_with<S: WakeSchedule>(
+fn run_with<S: WakeSchedule + Sync>(
     topo: &Topology,
     source: NodeId,
     regime: Regime,
@@ -260,6 +321,7 @@ fn run_with<S: WakeSchedule>(
     model: &PhyModel,
     search: &SearchConfig,
     state: &mut BroadcastState,
+    exec: &mut AnytimeExec,
 ) -> RunResult {
     let start = search.start_from;
     let mut exact = None;
@@ -333,7 +395,8 @@ fn run_with<S: WakeSchedule>(
                 start_from: start,
                 ..wsn_anytime::AnytimeConfig::default()
             };
-            let out = wsn_anytime::solve_anytime(topo, source, wake, model, &cfg);
+            let port = wsn_anytime::Portfolio::with_config(cfg, exec.threads.max(1));
+            let out = port.solve_cached(topo, source, wake, model, &mut exec.cache);
             exact = Some(out.proved_optimal);
             out.schedule
         }
@@ -473,6 +536,46 @@ mod tests {
             em_total <= base_total,
             "E-model ({em_total}) should beat the layered baseline ({base_total}) on average"
         );
+    }
+
+    #[test]
+    fn anytime_portfolio_never_loses_and_cache_warm_starts() {
+        // The exec path: a width-2 portfolio under the sweep's iteration
+        // budget must never return a worse latency than the serial chain
+        // (worker 0 is unsalted), and a second solve of the held instance
+        // through the same exec must hit the cache without losing ground.
+        let (topo, src) = small_instance();
+        let cfg = SearchConfig::default();
+        let model = PhyModelSpec::protocol().build(&topo);
+        let serial = run_instance(&topo, src, Regime::Sync, Algorithm::Anytime, 0, &cfg);
+        let mut exec = AnytimeExec::with_threads(2);
+        let mut state = BroadcastState::new();
+        let port = run_instance_exec(
+            &topo,
+            src,
+            Regime::Sync,
+            Algorithm::Anytime,
+            0,
+            &cfg,
+            &model,
+            &mut state,
+            &mut exec,
+        );
+        assert!(port.latency <= serial.latency, "portfolio lost to serial");
+        assert_eq!(exec.cache.misses(), 1);
+        let warm = run_instance_exec(
+            &topo,
+            src,
+            Regime::Sync,
+            Algorithm::Anytime,
+            0,
+            &cfg,
+            &model,
+            &mut state,
+            &mut exec,
+        );
+        assert_eq!(exec.cache.hits(), 1);
+        assert!(warm.latency <= port.latency, "warm start lost ground");
     }
 
     #[test]

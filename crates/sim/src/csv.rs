@@ -94,6 +94,7 @@ mod tests {
             search: SearchConfig::default(),
             search_overrides: Vec::new(),
             threads: 1,
+            search_threads: 1,
         }
         .run()
     }

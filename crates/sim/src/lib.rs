@@ -30,8 +30,8 @@ mod sweep;
 pub mod csv;
 
 pub use algorithm::{
-    run_instance, run_instance_built, run_instance_model, run_instance_with, Algorithm, Regime,
-    RunResult,
+    run_instance, run_instance_built, run_instance_exec, run_instance_model, run_instance_with,
+    Algorithm, AnytimeExec, Regime, RunResult,
 };
 pub use energy::{energy_of_schedule, EnergyReport, RadioEnergyModel};
 pub use lossy::{mean_coverage, replay_lossy, LossyOutcome};

@@ -1,6 +1,6 @@
 //! The density-sweep experiment: Figures 3, 4 and 6.
 
-use crate::algorithm::{run_instance_built, Algorithm, Regime};
+use crate::algorithm::{run_instance_exec, Algorithm, AnytimeExec, Regime};
 use crate::derive_seed;
 use crate::stats::Summary;
 use mlbs_core::{BroadcastState, SearchConfig};
@@ -39,6 +39,12 @@ pub struct Sweep {
     pub search_overrides: Vec<(usize, SearchConfig)>,
     /// Worker threads (1 = sequential; results are identical either way).
     pub threads: usize,
+    /// Portfolio width of the anytime tier: each [`Algorithm::Anytime`]
+    /// solve races this many independently-seeded chains. Unlike
+    /// `threads`, this axis *may* change results — wider portfolios never
+    /// lose latency under the sweep's iteration budgets, and results are
+    /// bit-reproducible at any fixed width.
+    pub search_threads: usize,
 }
 
 impl Sweep {
@@ -54,6 +60,7 @@ impl Sweep {
             search: SearchConfig::default(),
             search_overrides: Vec::new(),
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            search_threads: 1,
         }
     }
 
@@ -128,8 +135,13 @@ impl Sweep {
                 scope.spawn(move || {
                     // One broadcast-state substrate per worker, re-targeted
                     // per instance — scratch sets, candidate buffers and
-                    // the conflict builder live for the whole sweep.
+                    // the conflict builder live for the whole sweep. The
+                    // anytime exec (portfolio width + warm-start cache)
+                    // rides along; sweep instances have unique topology
+                    // tokens, so the cache never aliases across jobs and
+                    // results stay independent of worker count.
                     let mut substrate = BroadcastState::new();
+                    let mut exec = AnytimeExec::with_threads(sweep.search_threads.max(1));
                     loop {
                         let start = next_job.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
                         if start >= jobs.len() {
@@ -138,7 +150,13 @@ impl Sweep {
                         for (k, &(nodes, instance, model_idx)) in
                             jobs.iter().enumerate().skip(start).take(chunk)
                         {
-                            let rec = sweep.run_one(nodes, instance, model_idx, &mut substrate);
+                            let rec = sweep.run_one(
+                                nodes,
+                                instance,
+                                model_idx,
+                                &mut substrate,
+                                &mut exec,
+                            );
                             if res_tx.send((k, rec)).is_err() {
                                 return;
                             }
@@ -227,6 +245,7 @@ impl Sweep {
         instance: usize,
         model_idx: usize,
         substrate: &mut BroadcastState,
+        exec: &mut AnytimeExec,
     ) -> InstanceRecord {
         let seed = derive_seed(self.master_seed, nodes as u64, instance as u64);
         let deployment = SyntheticDeployment::paper(nodes);
@@ -242,7 +261,7 @@ impl Sweep {
             .map(|&alg| {
                 (
                     alg,
-                    run_instance_built(
+                    run_instance_exec(
                         &topo,
                         source,
                         self.regime,
@@ -251,6 +270,7 @@ impl Sweep {
                         search,
                         &model,
                         substrate,
+                        exec,
                     ),
                 )
             })
@@ -364,6 +384,7 @@ mod tests {
             search: SearchConfig::default(),
             search_overrides: Vec::new(),
             threads,
+            search_threads: 1,
         }
         .run()
     }
@@ -421,6 +442,35 @@ mod tests {
     }
 
     #[test]
+    fn search_threads_axis_never_loses_latency() {
+        // The portfolio axis: anytime results at width 2 must be ≤ width 1
+        // per sweep point (worker 0 runs the unsalted serial chain under a
+        // deterministic iteration budget, so this is a theorem, not a
+        // trend), and each width must reproduce bit-identically.
+        let sweep_at = |search_threads: usize| {
+            Sweep {
+                node_counts: vec![60],
+                instances: 2,
+                algorithms: vec![Algorithm::Anytime],
+                regime: Regime::Sync,
+                models: vec![PhyModelSpec::protocol()],
+                master_seed: 99,
+                search: SearchConfig::default(),
+                search_overrides: Vec::new(),
+                threads: 2,
+                search_threads,
+            }
+            .run()
+        };
+        let serial = sweep_at(1);
+        let wide = sweep_at(2);
+        let wide_again = sweep_at(2);
+        let mean = |r: &SweepResult| r.mean_latency(60, "anytime").unwrap();
+        assert!(mean(&wide) <= mean(&serial), "portfolio lost to serial");
+        assert_eq!(mean(&wide), mean(&wide_again), "width-2 nondeterministic");
+    }
+
+    #[test]
     fn gopt_beats_layered_on_average() {
         let r = tiny_sweep(2);
         for p in &r.points {
@@ -466,6 +516,7 @@ mod tests {
             search: SearchConfig::default(),
             search_overrides: Vec::new(),
             threads: 2,
+            search_threads: 1,
         }
         .run();
         let p = &r.points[0];

@@ -1,0 +1,47 @@
+//! Property tests: the partitioned unit-disk construction is bit-identical
+//! to the serial build across random deployments and thread counts.
+
+use proptest::prelude::*;
+use wsn_geom::Point;
+use wsn_topology::{NodeId, Topology};
+
+/// Deterministic xorshift scatter: the strategies draw only a seed and
+/// shape parameters, so cases stay cheap even though the deployments must
+/// exceed the parallel-build gate (~4k nodes).
+fn scatter(n: usize, seed: u64, span: f64) -> Vec<Point> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Point::new(next() * span, next() * span))
+        .collect()
+}
+
+proptest! {
+    // Each case builds two ≥4k-node unit-disk graphs; a handful of cases
+    // keeps the suite fast while varying seed, size, radius and threads.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_unit_disk_is_bit_identical(
+        seed in 0u64..1_000_000,
+        extra in 0usize..400,
+        threads in 2usize..9,
+        radius in 1.0f64..3.0,
+    ) {
+        let pts = scatter(4_096 + extra, seed, 100.0);
+        let serial = Topology::unit_disk(pts.clone(), radius);
+        let par = Topology::unit_disk_parallel(pts, radius, threads);
+        prop_assert_eq!(par.len(), serial.len());
+        prop_assert_eq!(par.csr(), serial.csr(), "CSR drifted at {} threads", threads);
+        for u in (0..serial.len()).step_by(61) {
+            let u = NodeId(u as u32);
+            prop_assert_eq!(par.neighbor_set(u), serial.neighbor_set(u));
+            prop_assert_eq!(par.closed_neighbor_set(u), serial.closed_neighbor_set(u));
+        }
+    }
+}

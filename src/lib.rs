@@ -46,7 +46,7 @@
 //! | [`phy`] | `wsn-phy` | pluggable conflict models: protocol, pairwise SINR, multi-channel |
 //! | [`interference`] | `wsn-interference` | conflict predicates, incremental conflict graphs, collision resolution |
 //! | [`coloring`] | `wsn-coloring` | greedy scheme, Eq. (1) validity, enumeration, broadcast-state substrate |
-//! | [`anytime`] | `wsn-anytime` | tabu/PARTIALCOL anytime local search for 10k–100k-node networks |
+//! | [`anytime`] | `wsn-anytime` | tabu/PARTIALCOL anytime local search, portfolio parallel search, warm-start cache |
 //! | [`baselines`] | `wsn-baselines` | 26-/17-approximation, CDS, flooding |
 //! | [`distributed`] | `wsn-distributed` | localized scheduling, distributed E-model (§VII) |
 //! | [`sim`] | `wsn-sim` | experiment sweeps, statistics, CSV |
@@ -108,6 +108,33 @@
 //! keep topology and conflict-row construction near-linear, so 10k–100k
 //! node networks schedule within seconds ([`sim::Algorithm::Anytime`],
 //! `claims --anytime-bench-only` → `BENCH_anytime.json`).
+//!
+//! ## The parallel scheduling engine
+//!
+//! Three thread-parallel multipliers sit on the anytime tier, all built on
+//! scoped `std::thread` with deterministic contracts:
+//!
+//! * [`anytime::Portfolio`] races N independently-seeded search chains;
+//!   wall-clock portfolios exchange incumbents through a lock-light shared
+//!   best and bias restarts away from the elite's early-sender signature,
+//!   while iteration-budget portfolios stay bit-reproducible and provably
+//!   never lose to the serial chain (worker 0 runs the unsalted seed).
+//! * Parallel construction — `CellGrid::build_parallel`,
+//!   `Topology::unit_disk_parallel`, and
+//!   `ConflictGraphBuilder::set_build_threads` — partitions binning,
+//!   adjacency and conflict-row full builds by contiguous index range and
+//!   merges in thread order, so the results are bit-identical to the
+//!   serial paths (property-tested across random topologies and thread
+//!   counts); cost-model gates keep small instances serial.
+//! * [`anytime::ScheduleCache`] warm-starts repeat solves of a held
+//!   instance from their previous incumbent, keyed on `(topology token,
+//!   model fingerprint, source)`.
+//!
+//! Portfolio width is a sweep axis (`sim::Sweep::search_threads`, wired
+//! through [`sim::AnytimeExec`] and the figure binaries'
+//! `--search-threads` flag), and `claims --parallel-bench-only` emits
+//! `BENCH_parallel.json` recording construction speedups and
+//! quality-at-budget across 1/2/4/8 threads.
 
 pub use mlbs_core as core;
 pub use wsn_anytime as anytime;
@@ -131,7 +158,10 @@ pub mod prelude {
         ColorSelector, EModel, EModelSelector, MaxReceiversSelector, PipelineConfig, Schedule,
         ScheduleEntry, ScheduleError, SearchConfig, SearchOutcome,
     };
-    pub use wsn_anytime::{solve_anytime, AnytimeConfig, AnytimeOutcome, Budget, TracePoint};
+    pub use wsn_anytime::{
+        solve_anytime, solve_anytime_cached, AnytimeConfig, AnytimeOutcome, Budget, Portfolio,
+        ScheduleCache, TracePoint,
+    };
     pub use wsn_baselines::{
         flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered, schedule_layered,
         schedule_layered_with, LayeredMode,
@@ -150,7 +180,8 @@ pub mod prelude {
         ConflictModel, MultiChannel, PhyModel, PhyModelSpec, ProtocolModel, SinrModel, SinrParams,
     };
     pub use wsn_sim::{
-        run_instance, run_instance_model, run_instance_with, Algorithm, Regime, Summary, Sweep,
+        run_instance, run_instance_exec, run_instance_model, run_instance_with, Algorithm,
+        AnytimeExec, Regime, Summary, Sweep,
     };
     pub use wsn_topology::{deploy::SyntheticDeployment, fixtures, metrics, NodeId, Topology};
 }

@@ -137,6 +137,7 @@ pub fn solve_anytime_cached<S: WakeSchedule, M: ConflictModel>(
         ChainCtx {
             shared: None,
             warm: warm.as_ref(),
+            dead: None,
         },
     );
     cache.observe(topo, model, source, &out.schedule);

@@ -13,6 +13,7 @@ use mlbs_core::Schedule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+use wsn_bitset::NodeSet;
 use wsn_dutycycle::{Slot, WakeSchedule};
 use wsn_interference::ConflictGraphBuilder;
 use wsn_phy::ConflictModel;
@@ -181,6 +182,10 @@ pub(crate) struct ChainCtx<'a> {
     pub(crate) shared: Option<&'a SharedBest>,
     /// Warm-start schedule fed to the first legalization as hints.
     pub(crate) warm: Option<&'a Schedule>,
+    /// Dead-node mask (churn repair): masked nodes never transmit, are
+    /// owed no coverage, and don't witness conflicts. The alive set must
+    /// stay connected through the source.
+    pub(crate) dead: Option<&'a NodeSet>,
 }
 
 impl ChainCtx<'_> {
@@ -189,6 +194,7 @@ impl ChainCtx<'_> {
         ChainCtx {
             shared: None,
             warm: None,
+            dead: None,
         }
     }
 }
@@ -252,12 +258,24 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
     config: &AnytimeConfig,
     ctx: ChainCtx<'_>,
 ) -> AnytimeOutcome {
-    let hops = metrics::bfs_hops(topo, source);
+    let hops = match ctx.dead {
+        None => metrics::bfs_hops(topo, source),
+        Some(dead) => metrics::bfs_hops_masked(topo, source, dead),
+    };
     assert!(
-        hops.iter().all(|&h| h != metrics::UNREACHABLE),
+        hops.iter()
+            .enumerate()
+            .all(|(u, &h)| h != metrics::UNREACHABLE
+                || ctx.dead.is_some_and(|dead| dead.contains(u))),
         "broadcast cannot complete: disconnected topology"
     );
-    let depth = Slot::from(hops.iter().copied().max().unwrap_or(0));
+    let depth = Slot::from(
+        hops.iter()
+            .filter(|&&h| h != metrics::UNREACHABLE)
+            .copied()
+            .max()
+            .unwrap_or(0),
+    );
 
     let mut clock = Clock {
         budget: config.budget,
@@ -280,9 +298,12 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
         config.start_from,
         0,
         None,
+        ctx.dead,
         &mut rng,
     );
-    debug_assert!(best.verify_with_model(topo, wake, model).is_ok());
+    debug_assert!(best
+        .verify_covering_with_model(topo, wake, model, ctx.dead)
+        .is_ok());
     let mut trace = vec![TracePoint {
         elapsed_ms: clock.elapsed_ms(),
         latency: best.latency(),
@@ -343,6 +364,7 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
                 config.start_from,
                 config.jitter,
                 bias_sig.as_ref().map(|sig| (sig, ELITE_BIAS_PENALTY)),
+                ctx.dead,
                 &mut rng,
             ))
         } else {
@@ -350,7 +372,8 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
             // when kicked: both search the frozen conflict structure for
             // an assignment one slot shorter, which the legalizer then
             // re-simulates.
-            let mut partial = PartialSchedule::from_schedule(&best, topo, model, &mut builder);
+            let mut partial =
+                PartialSchedule::from_schedule_masked(&best, topo, model, &mut builder, ctx.dead);
             clock.moves += partial.relays().len() as u64 / 8 + 1;
             let started = if kick {
                 restarts += 1;
@@ -393,6 +416,7 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
                     config.start_from,
                     0,
                     None,
+                    ctx.dead,
                     &mut rng,
                 )
             })
@@ -407,7 +431,9 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
                 };
                 push_detail(&mut detail, &clock, cand.latency(), kind);
                 if cand.latency() < best.latency()
-                    && cand.verify_with_model(topo, wake, model).is_ok()
+                    && cand
+                        .verify_covering_with_model(topo, wake, model, ctx.dead)
+                        .is_ok()
                 {
                     best = cand;
                     trace.push(TracePoint {

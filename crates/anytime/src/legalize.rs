@@ -73,10 +73,16 @@ impl Legalizer {
     /// to steer restarts away from the shared elite's early-sender
     /// signature so parallel chains explore different basins.
     ///
+    /// `dead`, when given, removes those nodes from the broadcast: they
+    /// never transmit, are owed no coverage, and don't witness conflicts —
+    /// the repair tier's churn mask. Every node the mask leaves alive must
+    /// be reachable from the source through alive nodes.
+    ///
     /// # Panics
     ///
-    /// Panics when the topology is disconnected (broadcast cannot
-    /// complete).
+    /// Panics when the topology (restricted to alive nodes) is
+    /// disconnected (broadcast cannot complete), or when the source is in
+    /// `dead`.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn legalize<S: WakeSchedule, M: ConflictModel>(
         &mut self,
@@ -88,10 +94,11 @@ impl Legalizer {
         start_from: Slot,
         jitter: u32,
         bias: Option<(&NodeSet, u32)>,
+        dead: Option<&NodeSet>,
         rng: &mut StdRng,
     ) -> Schedule {
         let n = topo.len();
-        self.reset(topo, source);
+        self.reset(topo, source, dead);
         let protocol = model.fingerprint() == ProtocolModel.fingerprint();
         let witness_range = model.witness_range(topo);
 
@@ -188,7 +195,10 @@ impl Legalizer {
                 self.uninformed.remove(w);
                 receive_slot[w] = t;
                 for &v in topo.neighbors(NodeId(w as u32)) {
-                    self.useful[v.idx()] -= 1;
+                    // Dead neighbors had their counter forced to zero.
+                    if self.useful[v.idx()] > 0 {
+                        self.useful[v.idx()] -= 1;
+                    }
                 }
             }
             // Push freshly informed nodes that still have someone to serve.
@@ -209,6 +219,7 @@ impl Legalizer {
             start: t_s,
             entries,
             receive_slot,
+            repeats: Vec::new(),
         }
     }
 
@@ -264,10 +275,17 @@ impl Legalizer {
         self.accepted.push(u);
     }
 
-    fn reset(&mut self, topo: &Topology, source: NodeId) {
+    fn reset(&mut self, topo: &Topology, source: NodeId, dead: Option<&NodeSet>) {
         let n = topo.len();
         self.informed.clear();
         self.informed.insert(source.idx());
+        if let Some(dead) = dead {
+            assert!(!dead.contains(source.idx()), "the broadcast source died");
+            // Dead nodes are treated as already informed and already done
+            // transmitting: they never enter the frontier, are owed no
+            // coverage, and stop counting as uninformed witnesses.
+            self.informed.union_with(dead);
+        }
         self.uninformed = self.informed.complement();
         for u in 0..n {
             self.useful[u] = topo.degree(NodeId(u as u32)) as u32;
@@ -275,6 +293,21 @@ impl Legalizer {
         }
         for &v in topo.neighbors(source) {
             self.useful[v.idx()] -= 1;
+        }
+        if let Some(dead) = dead {
+            for u in dead.iter() {
+                self.sent[u] = true;
+                self.useful[u] = 0;
+                if u != source.idx() {
+                    for &v in topo.neighbors(NodeId(u as u32)) {
+                        // Each neighbor loses `u` as an uninformed neighbor
+                        // (the source's neighborhood was already settled).
+                        if self.useful[v.idx()] > 0 {
+                            self.useful[v.idx()] -= 1;
+                        }
+                    }
+                }
+            }
         }
         self.frontier.clear();
         self.frontier.push(source);

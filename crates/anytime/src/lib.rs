@@ -36,6 +36,8 @@ mod driver;
 mod legalize;
 mod partial;
 mod portfolio;
+mod reliable;
+mod repair;
 
 pub use cache::{solve_anytime_cached, ScheduleCache};
 pub use driver::{
@@ -43,6 +45,10 @@ pub use driver::{
 };
 pub use partial::{PartialSchedule, StepOutcome};
 pub use portfolio::Portfolio;
+pub use reliable::{
+    plan_repeats, solve_anytime_reliable, ReliableOutcome, RepeatLedger, MAX_REPEAT,
+};
+pub use repair::{reschedule, reschedule_cached, ChurnDelta, RepairOutcome};
 
 #[cfg(test)]
 mod tests {

@@ -101,6 +101,22 @@ impl PartialSchedule {
         model: &M,
         builder: &mut ConflictGraphBuilder,
     ) -> PartialSchedule {
+        PartialSchedule::from_schedule_masked(schedule, topo, model, builder, None)
+    }
+
+    /// As [`PartialSchedule::from_schedule`], with dead nodes masked out of
+    /// the frozen structure: dead nodes cannot witness a conflict (they are
+    /// excluded from the partner-row universe and from deadline
+    /// computation), which is what makes repair-time passes as mobile as
+    /// the surviving topology allows. The schedule itself must already be
+    /// free of dead senders.
+    pub fn from_schedule_masked<M: ConflictModel>(
+        schedule: &Schedule,
+        topo: &Topology,
+        model: &M,
+        builder: &mut ConflictGraphBuilder,
+        dead: Option<&NodeSet>,
+    ) -> PartialSchedule {
         let n = topo.len();
         let mut relays: Vec<NodeId> = Vec::new();
         let mut slot_of: Vec<Slot> = Vec::new();
@@ -130,6 +146,9 @@ impl PartialSchedule {
         // where some witness is actually vulnerable.
         let mut unf = NodeSet::full(n);
         unf.remove(schedule.source.idx());
+        if let Some(dead) = dead {
+            unf.difference_with(dead);
+        }
         builder.update_with(model, topo, &relays, &unf);
         let mut adj: Vec<Vec<(u32, Slot)>> = vec![Vec::new(); k];
         for i in 0..k {
@@ -141,6 +160,7 @@ impl PartialSchedule {
                 let deadline = builder
                     .witnesses(model, topo, relays[i], relays[j])
                     .iter()
+                    .filter(|&&w| dead.is_none_or(|d| !d.contains(w as usize)))
                     .map(|&w| schedule.receive_slot[w as usize])
                     .max()
                     .unwrap_or(0);

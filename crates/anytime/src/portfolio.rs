@@ -198,7 +198,11 @@ impl Portfolio {
                 wake,
                 model,
                 &self.config,
-                ChainCtx { shared: None, warm },
+                ChainCtx {
+                    shared: None,
+                    warm,
+                    dead: None,
+                },
             );
         }
         // Incumbent exchange only under wall-clock budgets: iteration
@@ -213,7 +217,18 @@ impl Portfolio {
                     let cfg = self.worker_config(w);
                     let shared = share.then_some(&shared);
                     scope.spawn(move || {
-                        run_chain(topo, source, wake, model, &cfg, ChainCtx { shared, warm })
+                        run_chain(
+                            topo,
+                            source,
+                            wake,
+                            model,
+                            &cfg,
+                            ChainCtx {
+                                shared,
+                                warm,
+                                dead: None,
+                            },
+                        )
                     })
                 })
                 .collect();

@@ -156,6 +156,7 @@ pub fn schedule_cds_layered(topo: &Topology, source: NodeId) -> Schedule {
         start: 1,
         entries,
         receive_slot,
+        repeats: Vec::new(),
     }
 }
 

@@ -105,6 +105,7 @@ pub fn schedule_layered_with<S: WakeSchedule>(
         start: t_s,
         entries: state.entries,
         receive_slot: state.receive_slot,
+        repeats: Vec::new(),
     }
 }
 

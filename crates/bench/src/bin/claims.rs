@@ -184,15 +184,18 @@ fn emit_phy_baseline(path: &str, opts: &FigureOpts) {
     let mut points = Vec::new();
     for p in &result.points {
         let mut rows = Vec::new();
-        for (label, lat, tx) in &p.per_algorithm {
-            let (alg, model) = label
+        for a in &p.per_algorithm {
+            let (alg, model) = a
+                .name
                 .split_once('@')
-                .unwrap_or((label.as_str(), "protocol"));
+                .unwrap_or((a.name.as_str(), "protocol"));
             rows.push(format!(
                 "      {{\"algorithm\": \"{alg}\", \"model\": \"{model}\", \
-                 \"mean_latency\": {:.4}, \"mean_transmissions\": {:.4}}}",
-                lat.mean(),
-                tx.mean()
+                 \"mean_latency\": {:.4}, \"mean_transmissions\": {:.4}, \
+                 \"mean_coverage\": {:.4}}}",
+                a.latency.mean(),
+                a.transmissions.mean(),
+                a.coverage.mean()
             ));
         }
         points.push(format!(
@@ -613,13 +616,178 @@ fn emit_parallel_baseline(path: &str, max_nodes: usize) {
     }
 }
 
+/// Emits `BENCH_reliability.json`: the ε-reliability pins. For each scale
+/// the lossy pin regime (distance-correlated loss, mild enough that two
+/// repeats per hop carry the probability mass) is replayed against three
+/// schedules on the same instance: the lossless anytime schedule (fragile
+/// by design), the ε = 0.01 reliable plan, and a naive
+/// "schedule-then-retransmit-blindly" baseline given the *same* slot
+/// budget as the reliable plan, spread uniformly. The repair pin kills a
+/// single relay and times `reschedule` against a cold re-solve.
+fn emit_reliability_baseline(path: &str, max_nodes: usize) {
+    use wsn_anytime::{reschedule, solve_anytime_reliable, ChurnDelta};
+    use wsn_sim::{mean_coverage_quality, replay_faulty, FaultScript};
+    use wsn_topology::{LinkQuality, LinkQualityParams};
+
+    let epsilon = 0.01;
+    // Mild lossy pins, one per scale: worst-link loss sits just under the
+    // two-repeat threshold √(ε/depth) for that scale's hop depth (the
+    // ≤ 2× budget regime — deeper networks get gentler links), while the
+    // sub-linear gamma keeps *mean* loss high enough that one-shot
+    // schedules visibly strand subtrees at depth.
+    let pin_for = |loss_near: f64, loss_far: f64| LinkQualityParams {
+        loss_near,
+        loss_far,
+        gamma: 0.45,
+        flaky_fraction: 0.0,
+        flaky_extra_loss: 0.0,
+    };
+    let scales: &[(usize, u64, usize, f64, f64)] = &[
+        (1_000, 30_000, 30, 0.006, 0.024),
+        (10_000, 12_000, 30, 0.004, 0.013),
+    ];
+    let mut rows = Vec::new();
+    for &(n, iters, trials, loss_near, loss_far) in scales.iter().filter(|&&(n, ..)| n <= max_nodes)
+    {
+        let pin = pin_for(loss_near, loss_far);
+        let (topo, src) = SyntheticDeployment::scaled(n).sample(7);
+        let quality = LinkQuality::synthetic(&topo, &pin, 42);
+        let cfg = AnytimeConfig {
+            budget: Budget::Iterations(iters),
+            ..AnytimeConfig::default()
+        };
+
+        // Lossless incumbent and the reliable plan on top of it.
+        let reliable = solve_anytime_reliable(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &ProtocolModel,
+            &quality,
+            epsilon,
+            &cfg,
+        );
+        let lossless = &reliable.base.schedule;
+        let lossless_slots = lossless.entries.len() as u64;
+        let cov_lossless = mean_coverage_quality(&topo, lossless, &quality, trials, 3);
+        let cov_reliable = mean_coverage_quality(&topo, &reliable.schedule, &quality, trials, 3);
+        let budget = reliable.schedule.slot_budget();
+        let ratio = budget as f64 / lossless_slots as f64;
+
+        // Blind baseline: same slot budget, spread uniformly (every entry
+        // repeated ⌊budget/entries⌋ times, remainder to the earliest).
+        let mut blind = lossless.clone();
+        let base = budget / lossless_slots;
+        let extra = (budget % lossless_slots) as usize;
+        blind.repeats = (0..lossless.entries.len())
+            .map(|i| base as u32 + u32::from(i < extra))
+            .collect();
+        let cov_blind = mean_coverage_quality(&topo, &blind, &quality, trials, 3);
+
+        check(
+            &format!("ε=0.01 coverage ≥ 99% at {n} nodes"),
+            cov_reliable >= 0.99,
+            format!(
+                "mean coverage {cov_reliable:.4} (bound min {:.4})",
+                reliable.report.min_delivery
+            ),
+        );
+        check(
+            &format!("lossless schedule < 90% coverage at {n} nodes"),
+            cov_lossless < 0.90,
+            format!("mean coverage {cov_lossless:.4}"),
+        );
+        check(
+            &format!("reliable budget ≤ 2× lossless at {n} nodes"),
+            ratio <= 2.0,
+            format!("{budget} slots vs {lossless_slots} ({ratio:.2}×)"),
+        );
+        check(
+            &format!("ε-plan beats blind retransmission at {n} nodes"),
+            cov_reliable >= cov_blind,
+            format!("ε {cov_reliable:.4} vs blind {cov_blind:.4} at equal budget"),
+        );
+
+        // Repair pin: one relay dies; repair vs cold re-solve wall time.
+        let victim = lossless
+            .entries
+            .iter()
+            .flat_map(|e| e.senders.iter().copied())
+            .find(|&u| u != src)
+            .expect("some non-source relay");
+        let script = FaultScript {
+            events: vec![wsn_sim::Fault::NodeDeath {
+                node: victim,
+                at: 0,
+            }],
+        };
+        let faulty = replay_faulty(&topo, lossless, &quality, &script, 5);
+        let repair_cfg = AnytimeConfig {
+            budget: Budget::Iterations(0),
+            ..AnytimeConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let rep = reschedule(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &ProtocolModel,
+            lossless,
+            &ChurnDelta::deaths(faulty.dead.clone()),
+            &repair_cfg,
+        );
+        let repair_us = t0.elapsed().as_micros();
+        let t0 = std::time::Instant::now();
+        let cold = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg);
+        let cold_us = t0.elapsed().as_micros().max(1);
+        let repair_ratio = repair_us as f64 / cold_us as f64;
+        check(
+            &format!("repair < 25% of cold re-solve at {n} nodes"),
+            repair_ratio < 0.25,
+            format!(
+                "{repair_us}us vs {cold_us}us ({:.1}%); repaired latency {} vs cold {}",
+                repair_ratio * 100.0,
+                rep.outcome.latency,
+                cold.latency
+            ),
+        );
+
+        rows.push(format!(
+            "    {{\"nodes\": {n}, \"epsilon\": {epsilon}, \
+             \"pin\": {{\"loss_near\": {loss_near}, \"loss_far\": {loss_far}, \
+             \"gamma\": 0.45, \"seed\": 42}}, \
+             \"lossless\": {{\"slots\": {lossless_slots}, \"mean_coverage\": {cov_lossless:.4}}}, \
+             \"reliable\": {{\"slot_budget\": {budget}, \"budget_ratio\": {ratio:.4}, \
+             \"expected_latency\": {}, \"mean_coverage\": {cov_reliable:.4}, \
+             \"min_delivery_bound\": {:.6}, \"trimmed_slots\": {}}}, \
+             \"blind\": {{\"slot_budget\": {budget}, \"mean_coverage\": {cov_blind:.4}}}, \
+             \"repair\": {{\"dead\": {}, \"repair_us\": {repair_us}, \"cold_us\": {cold_us}, \
+             \"ratio\": {repair_ratio:.4}, \"repaired_latency\": {}, \"cold_latency\": {}}}}}",
+            reliable.report.expanded_latency,
+            reliable.report.min_delivery,
+            reliable.trimmed_slots,
+            faulty.dead.len(),
+            rep.outcome.latency,
+            cold.latency,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"reliability\",\n  \"epsilon\": {epsilon},\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[claims] wrote {path}"),
+        Err(e) => eprintln!("[claims] could not write {path}: {e}"),
+    }
+}
+
 fn max_gap(result: &SweepResult, a: &str, b: &str) -> f64 {
     result
         .points
         .iter()
         .filter_map(|p| {
-            let la = p.per_algorithm.iter().find(|(n, _, _)| n == a)?.1.mean();
-            let lb = p.per_algorithm.iter().find(|(n, _, _)| n == b)?.1.mean();
+            let la = p.per_algorithm.iter().find(|r| r.name == a)?.latency.mean();
+            let lb = p.per_algorithm.iter().find(|r| r.name == b)?.latency.mean();
             Some(la - lb)
         })
         .fold(f64::NEG_INFINITY, f64::max)
@@ -629,8 +797,8 @@ fn bound_ok(result: &SweepResult) -> bool {
     result.points.iter().all(|p| {
         p.per_algorithm
             .iter()
-            .filter(|(n, _, _)| n == "OPT" || n == "G-OPT")
-            .all(|(_, lat, _)| lat.max() <= p.opt_analysis.max())
+            .filter(|a| a.name == "OPT" || a.name == "G-OPT")
+            .all(|a| a.latency.max() <= p.opt_analysis.max())
     })
 }
 
@@ -655,6 +823,22 @@ fn main() {
             }
         }
         emit_anytime_baseline("BENCH_anytime.json", max_nodes);
+        return;
+    }
+    if std::env::args().any(|a| a == "--reliability-bench-only") {
+        // Reliability quick-look: BENCH_reliability.json alone.
+        // `--reliability-max-nodes N` caps the scale axis (CI uses 1k).
+        let mut max_nodes = 10_000usize;
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--reliability-max-nodes" {
+                max_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reliability-max-nodes needs a number");
+            }
+        }
+        emit_reliability_baseline("BENCH_reliability.json", max_nodes);
         return;
     }
     if std::env::args().any(|a| a == "--parallel-bench-only") {

@@ -186,6 +186,7 @@ pub fn run_pipeline_model<S: WakeSchedule, C: ColorSelector, M: ConflictModel>(
         start: t_s,
         entries,
         receive_slot,
+        repeats: Vec::new(),
     }
 }
 

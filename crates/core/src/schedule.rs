@@ -50,21 +50,53 @@ pub struct Schedule {
     pub entries: Vec<ScheduleEntry>,
     /// Slot in which each node became informed (`start` for the source).
     pub receive_slot: Vec<Slot>,
+    /// Per-entry repeat counts, parallel to `entries` — the ε-reliability
+    /// retransmission budget. Entry `i` occupies the slot range
+    /// `[slot, slot + repeats[i])`: its sender set re-fires in each slot of
+    /// the range (skipping slots where a sender is asleep or not yet
+    /// informed), and the next entry's range must start strictly after.
+    /// Empty means "every entry fires exactly once" — the lossless system
+    /// and the shape of every schedule the lossless schedulers produce, so
+    /// all historical paths stay bit-identical. See
+    /// [`Schedule::verify_reliability`] for the objective the repeats buy.
+    pub repeats: Vec<u32>,
 }
 
 impl Schedule {
+    /// The repeat count of entry `i` (1 when `repeats` is empty).
+    #[inline]
+    pub fn repeat_of(&self, i: usize) -> u32 {
+        self.repeats.get(i).copied().unwrap_or(1)
+    }
+
+    /// The last slot entry `i` occupies (`slot` itself without repeats).
+    #[inline]
+    pub fn entry_end(&self, i: usize) -> Slot {
+        self.entries[i].slot + Slot::from(self.repeat_of(i).max(1)) - 1
+    }
+
+    /// Total occupied slots across all entries (the retransmission *slot
+    /// budget* reliability comparisons hold fixed); equals the entry count
+    /// for a repeat-free schedule.
+    pub fn slot_budget(&self) -> u64 {
+        if self.repeats.is_empty() {
+            return self.entries.len() as u64;
+        }
+        self.repeats.iter().map(|&r| u64::from(r.max(1))).sum()
+    }
+
     /// The slot of the last transmission (`t_e` in Eq. 4; `M(N, t) = t−1`
-    /// makes the counter equal the final transmission slot).
+    /// makes the counter equal the final transmission slot). Repeat slots
+    /// count: with repeats the completion slot is the end of the last
+    /// entry's occupied range.
     ///
     /// # Panics
     ///
     /// Panics on a schedule with no entries (a 1-node broadcast needs no
     /// transmission; callers special-case it).
     pub fn completion_slot(&self) -> Slot {
-        self.entries
-            .last()
-            .expect("schedule has no transmissions")
-            .slot
+        assert!(!self.entries.is_empty(), "schedule has no transmissions");
+        self.entry_end(self.entries.len() - 1)
     }
 
     /// End-to-end latency in rounds/slots: `t_e − t_s + 1`, the elapsed
@@ -78,9 +110,14 @@ impl Schedule {
     }
 
     /// Total number of transmissions (channel uses) across all advances —
-    /// the redundancy metric of broadcast-storm discussions.
+    /// the redundancy metric of broadcast-storm discussions. Each repeat
+    /// slot re-fires the entry's whole sender set, so repeats multiply.
     pub fn transmission_count(&self) -> usize {
-        self.entries.iter().map(|e| e.senders.len()).sum()
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.senders.len() * self.repeat_of(i).max(1) as usize)
+            .sum()
     }
 
     /// Replays the schedule and checks every legality condition under the
@@ -114,16 +151,48 @@ impl Schedule {
         wake: &S,
         model: &M,
     ) -> Result<(), ScheduleError> {
+        self.verify_covering_with_model(topo, wake, model, None)
+    }
+
+    /// As [`Schedule::verify_with_model`], over the subgraph that survives
+    /// removing `excluded` (dead nodes under churn): excluded nodes may
+    /// never transmit, don't count as collision victims or uninformed
+    /// witnesses, and are not owed coverage. `excluded = None` is exactly
+    /// full verification — the repair tier checks its output with the same
+    /// replay the lossless tier uses.
+    pub fn verify_covering_with_model<S: WakeSchedule, M: ConflictModel>(
+        &self,
+        topo: &Topology,
+        wake: &S,
+        model: &M,
+        excluded: Option<&NodeSet>,
+    ) -> Result<(), ScheduleError> {
         let n = topo.len();
+        if !self.repeats.is_empty()
+            && (self.repeats.len() != self.entries.len() || self.repeats.contains(&0))
+        {
+            return Err(ScheduleError::RepeatArity);
+        }
         let mut informed = NodeSet::new(n);
         informed.insert(self.source.idx());
+        if let Some(dead) = excluded {
+            if dead.contains(self.source.idx()) {
+                return Err(ScheduleError::ExcludedSender {
+                    node: self.source,
+                    slot: self.start,
+                });
+            }
+            informed.union_with(dead);
+        }
         let mut has_sent = NodeSet::new(n);
         let mut prev_slot: Option<Slot> = None;
 
-        for entry in &self.entries {
+        for (ei, entry) in self.entries.iter().enumerate() {
             if entry.slot < self.start {
                 return Err(ScheduleError::BeforeStart { slot: entry.slot });
             }
+            // With repeats an entry occupies `[slot, entry_end]`; the next
+            // entry must start strictly after the whole range.
             if let Some(p) = prev_slot {
                 if entry.slot <= p {
                     return Err(ScheduleError::NonMonotonicSlots {
@@ -132,7 +201,7 @@ impl Schedule {
                     });
                 }
             }
-            prev_slot = Some(entry.slot);
+            prev_slot = Some(self.entry_end(ei));
 
             if entry.senders.is_empty() {
                 return Err(ScheduleError::EmptyAdvance { slot: entry.slot });
@@ -145,6 +214,12 @@ impl Schedule {
             // per-sender conditions are checked.
             let mut groups: Vec<(u8, NodeSet)> = Vec::new();
             for (i, &u) in entry.senders.iter().enumerate() {
+                if excluded.is_some_and(|dead| dead.contains(u.idx())) {
+                    return Err(ScheduleError::ExcludedSender {
+                        node: u,
+                        slot: entry.slot,
+                    });
+                }
                 if !informed.contains(u.idx()) {
                     return Err(ScheduleError::UninformedSender {
                         node: u,
@@ -250,6 +325,11 @@ pub enum ScheduleError {
     },
     /// An entry's channel list does not match its sender list.
     ChannelArity { slot: Slot },
+    /// A non-empty repeat list does not match the entry list, or contains a
+    /// zero repeat count.
+    RepeatArity,
+    /// An excluded (dead) node transmits, or the source itself is excluded.
+    ExcludedSender { node: NodeId, slot: Slot },
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -290,6 +370,12 @@ impl std::fmt::Display for ScheduleError {
             ScheduleError::ChannelArity { slot } => {
                 write!(f, "entry at slot {slot} has mismatched channel list")
             }
+            ScheduleError::RepeatArity => {
+                write!(f, "repeat list does not match entries or contains zero")
+            }
+            ScheduleError::ExcludedSender { node, slot } => {
+                write!(f, "excluded (dead) node {node} transmits at slot {slot}")
+            }
         }
     }
 }
@@ -314,6 +400,7 @@ mod tests {
                 ScheduleEntry::new(2, vec![f.id("2")]),
             ],
             receive_slot: vec![1, 2, 2, 3, 3],
+            repeats: Vec::new(),
         };
         (s, f)
     }
@@ -339,6 +426,7 @@ mod tests {
                 ScheduleEntry::new(2, vec![f.id("2"), f.id("3")]),
             ],
             receive_slot: vec![],
+            repeats: Vec::new(),
         };
         let err = s.verify(&f.topo, &AlwaysAwake).unwrap_err();
         assert_eq!(
@@ -358,6 +446,7 @@ mod tests {
             start: 1,
             entries: vec![ScheduleEntry::new(1, vec![f.id("2")])],
             receive_slot: vec![],
+            repeats: Vec::new(),
         };
         assert!(matches!(
             s.verify(&f.topo, &AlwaysAwake).unwrap_err(),
@@ -385,6 +474,7 @@ mod tests {
             start: 1,
             entries: vec![ScheduleEntry::new(1, vec![f.id("1")])],
             receive_slot: vec![],
+            repeats: Vec::new(),
         };
         assert!(matches!(
             s.verify(&f.topo, &AlwaysAwake).unwrap_err(),
@@ -434,6 +524,7 @@ mod tests {
                 },
             ],
             receive_slot: vec![1, 2, 2, 2, 2],
+            repeats: Vec::new(),
         };
         let two = MultiChannel::new(ProtocolModel, 2);
         s.verify_with_model(&f.topo, &AlwaysAwake, &two).unwrap();
@@ -462,12 +553,52 @@ mod tests {
     }
 
     #[test]
+    fn covering_verification_masks_dead_nodes() {
+        use wsn_phy::ProtocolModel;
+        let f = fixtures::fig2a();
+        // Kill node "5" (a leaf): the lossless schedule minus its coverage
+        // obligation still verifies, and the full verifier still demands it.
+        let dead_leaf = f.id("5");
+        let s = Schedule {
+            source: f.source,
+            start: 1,
+            entries: vec![
+                ScheduleEntry::new(1, vec![f.id("1")]),
+                ScheduleEntry::new(2, vec![f.id("2")]),
+            ],
+            receive_slot: vec![1, 2, 2, 3, 3],
+            repeats: Vec::new(),
+        };
+        let mut dead = NodeSet::new(f.topo.len());
+        dead.insert(dead_leaf.idx());
+        s.verify_covering_with_model(&f.topo, &AlwaysAwake, &ProtocolModel, Some(&dead))
+            .unwrap();
+        // A dead sender is rejected outright.
+        let mut dead_sender = NodeSet::new(f.topo.len());
+        dead_sender.insert(f.id("2").idx());
+        assert!(matches!(
+            s.verify_covering_with_model(&f.topo, &AlwaysAwake, &ProtocolModel, Some(&dead_sender))
+                .unwrap_err(),
+            ScheduleError::ExcludedSender { .. }
+        ));
+        // A dead source is rejected outright.
+        let mut dead_src = NodeSet::new(f.topo.len());
+        dead_src.insert(f.source.idx());
+        assert!(matches!(
+            s.verify_covering_with_model(&f.topo, &AlwaysAwake, &ProtocolModel, Some(&dead_src))
+                .unwrap_err(),
+            ScheduleError::ExcludedSender { .. }
+        ));
+    }
+
+    #[test]
     fn empty_schedule_latency_zero() {
         let s = Schedule {
             source: NodeId(0),
             start: 1,
             entries: vec![],
             receive_slot: vec![1],
+            repeats: Vec::new(),
         };
         assert_eq!(s.latency(), 0);
     }

@@ -571,6 +571,7 @@ impl<'a, S: WakeSchedule, M: ConflictModel> Searcher<'a, S, M> {
                     start: t_s,
                     entries: vec![],
                     receive_slot: vec![t_s; n],
+                    repeats: Vec::new(),
                 },
                 latency: 0,
                 exact: true,
@@ -1155,6 +1156,7 @@ impl<'a, S: WakeSchedule, M: ConflictModel> Searcher<'a, S, M> {
             start: t_s,
             entries,
             receive_slot,
+            repeats: Vec::new(),
         })
     }
 }

@@ -223,6 +223,7 @@ pub fn localized_broadcast_with<S: WakeSchedule>(
             start: t_s,
             entries,
             receive_slot,
+            repeats: Vec::new(),
         },
         stats,
     }

@@ -128,7 +128,18 @@ pub struct RunResult {
     /// The baseline's analytical bound for this instance and regime
     /// (`26·d` sync, `17·k·d` duty).
     pub baseline_bound: Slot,
+    /// Mean coverage of the schedule under the harness's reference loss
+    /// regime ([`COVERAGE_LOSS`] iid per-delivery loss,
+    /// [`COVERAGE_TRIALS`] seeded replays) — the §VI fragility of this
+    /// run's schedule, reported first-class so reliability shows up in
+    /// every sweep. `1.0` exactly for loss-proof schedules.
+    pub mean_coverage: f64,
 }
+
+/// Per-delivery loss probability of the reference coverage metric.
+pub const COVERAGE_LOSS: f64 = 0.1;
+/// Seeded lossy replays averaged into [`RunResult::mean_coverage`].
+pub const COVERAGE_TRIALS: usize = 8;
 
 /// Execution context for the anytime tier inside the runner: portfolio
 /// width and the warm-start schedule cache. The plain entry points
@@ -423,6 +434,18 @@ fn run_with<S: WakeSchedule + Sync>(
         }
     };
 
+    // Reference coverage metric: seeded on stable instance features only
+    // (like the anytime seed above — `topo.token()` must not leak into
+    // results).
+    let coverage_seed = 0xC0FE_11A6 ^ u64::from(source.0) ^ ((topo.len() as u64) << 32);
+    let mean_coverage = crate::lossy::mean_coverage(
+        topo,
+        &schedule,
+        COVERAGE_LOSS,
+        COVERAGE_TRIALS,
+        coverage_seed,
+    );
+
     RunResult {
         latency: schedule.latency(),
         transmissions: schedule.transmission_count(),
@@ -431,6 +454,7 @@ fn run_with<S: WakeSchedule + Sync>(
         search_stats,
         opt_analysis,
         baseline_bound,
+        mean_coverage,
     }
 }
 

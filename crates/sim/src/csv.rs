@@ -8,27 +8,31 @@ use crate::{Regime, SweepResult};
 use std::fmt::Write as _;
 
 /// Renders a sweep as CSV. Columns:
-/// `regime,nodes,density,series,mean,std,min,max,count`.
+/// `regime,nodes,density,series,mean,std,min,max,count,coverage` — the
+/// trailing column is the mean lossy-replay coverage of the series
+/// (first-class reliability metric; empty for the analytic-bound rows,
+/// which have no schedule to replay).
 pub fn sweep_to_csv(result: &SweepResult) -> String {
-    let mut out = String::from("regime,nodes,density,series,mean,std,min,max,count\n");
+    let mut out = String::from("regime,nodes,density,series,mean,std,min,max,count,coverage\n");
     let regime = match result.regime {
         Regime::Sync => "sync".to_string(),
         Regime::Duty { rate } => format!("duty-r{rate}"),
     };
     for p in &result.points {
-        for (name, latency, _) in &p.per_algorithm {
+        for a in &p.per_algorithm {
             let _ = writeln!(
                 out,
-                "{},{},{:.4},{},{:.3},{:.3},{},{},{}",
+                "{},{},{:.4},{},{:.3},{:.3},{},{},{},{:.4}",
                 regime,
                 p.nodes,
                 p.density,
-                name,
-                latency.mean(),
-                latency.std_dev(),
-                latency.min(),
-                latency.max(),
-                latency.count()
+                a.name,
+                a.latency.mean(),
+                a.latency.std_dev(),
+                a.latency.min(),
+                a.latency.max(),
+                a.latency.count(),
+                a.coverage.mean()
             );
         }
         for (name, series) in [
@@ -37,7 +41,7 @@ pub fn sweep_to_csv(result: &SweepResult) -> String {
         ] {
             let _ = writeln!(
                 out,
-                "{},{},{:.4},{},{:.3},{:.3},{},{},{}",
+                "{},{},{:.4},{},{:.3},{:.3},{},{},{},",
                 regime,
                 p.nodes,
                 p.density,
@@ -60,7 +64,7 @@ pub fn sweep_to_table(result: &SweepResult) -> String {
     let names: Vec<&str> = result
         .points
         .first()
-        .map(|p| p.per_algorithm.iter().map(|(n, _, _)| n.as_str()).collect())
+        .map(|p| p.per_algorithm.iter().map(|a| a.name.as_str()).collect())
         .unwrap_or_default();
     let _ = write!(out, "{:<10} {:<9}", "nodes", "density");
     for n in &names {
@@ -69,8 +73,8 @@ pub fn sweep_to_table(result: &SweepResult) -> String {
     let _ = writeln!(out, " {:>16}", "OPT-analysis");
     for p in &result.points {
         let _ = write!(out, "{:<10} {:<9.4}", p.nodes, p.density);
-        for (_, latency, _) in &p.per_algorithm {
-            let _ = write!(out, " {:>16.2}", latency.mean());
+        for a in &p.per_algorithm {
+            let _ = write!(out, " {:>16.2}", a.latency.mean());
         }
         let _ = writeln!(out, " {:>16.2}", p.opt_analysis.mean());
     }
@@ -105,12 +109,18 @@ mod tests {
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(
             lines[0],
-            "regime,nodes,density,series,mean,std,min,max,count"
+            "regime,nodes,density,series,mean,std,min,max,count,coverage"
         );
         // 1 point × (2 algorithms + 2 analytic series) = 4 data rows.
         assert_eq!(lines.len(), 1 + 4);
         assert!(lines[1].starts_with("sync,50,0.0200,26-approx,"));
         assert!(csv.contains("OPT-analysis"));
+        // Algorithm rows carry a coverage value, analytic rows leave the
+        // column empty.
+        assert_eq!(lines[1].split(',').count(), 10);
+        let cov: f64 = lines[1].split(',').nth(9).unwrap().parse().unwrap();
+        assert!((0.0..=1.0).contains(&cov));
+        assert!(lines[3].ends_with(','));
     }
 
     #[test]

@@ -23,6 +23,8 @@
 
 mod algorithm;
 mod energy;
+mod estimator;
+mod fault;
 mod lossy;
 mod stats;
 mod sweep;
@@ -31,12 +33,16 @@ pub mod csv;
 
 pub use algorithm::{
     run_instance, run_instance_built, run_instance_exec, run_instance_model, run_instance_with,
-    Algorithm, AnytimeExec, Regime, RunResult,
+    Algorithm, AnytimeExec, Regime, RunResult, COVERAGE_LOSS, COVERAGE_TRIALS,
 };
 pub use energy::{energy_of_schedule, EnergyReport, RadioEnergyModel};
-pub use lossy::{mean_coverage, replay_lossy, LossyOutcome};
+pub use estimator::{simulate_acks, LinkEstimator};
+pub use fault::{replay_faulty, Fault, FaultParams, FaultScript, FaultyOutcome};
+pub use lossy::{
+    mean_coverage, mean_coverage_quality, replay_lossy, replay_lossy_quality, LossyOutcome,
+};
 pub use stats::Summary;
-pub use sweep::{Sweep, SweepPointResult, SweepResult};
+pub use sweep::{AlgorithmSummary, Sweep, SweepPointResult, SweepResult};
 pub use wsn_phy::PhyModelSpec;
 
 /// Derives a stream seed from a master seed and context labels

@@ -11,7 +11,7 @@
 
 use mlbs_core::Schedule;
 use wsn_bitset::NodeSet;
-use wsn_topology::Topology;
+use wsn_topology::{LinkQuality, Topology};
 
 /// SplitMix64 step for the loss draws (self-contained; keeps the module
 /// deterministic without threading an external RNG through the replay).
@@ -42,14 +42,19 @@ impl LossyOutcome {
     }
 }
 
-/// Replays `schedule` with iid per-delivery loss probability `loss`.
-///
-/// A sender that never received the message (because its own delivery was
-/// lost) skips its slot — it has nothing to relay; the replay records the
-/// cascade. Interference is not re-checked: the schedule was conflict-free
-/// and losing transmissions only removes signals.
-pub fn replay_lossy(topo: &Topology, schedule: &Schedule, loss: f64, seed: u64) -> LossyOutcome {
-    assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+/// The shared replay loop, parametrized over the per-delivery loss
+/// probability so the global-`p` path and the per-link path share one draw
+/// sequence: entries in order, each fired once per repeat slot, senders in
+/// entry order, uninformed neighbors in CSR order, one draw per candidate
+/// delivery. For schedules without repeat slots and a constant closure
+/// this is exactly the legacy `replay_lossy` loop — bit-identical by
+/// construction.
+fn replay_with(
+    topo: &Topology,
+    schedule: &Schedule,
+    seed: u64,
+    mut loss_of: impl FnMut(wsn_topology::NodeId, wsn_topology::NodeId) -> f64,
+) -> LossyOutcome {
     let n = topo.len();
     // Tag decorrelates loss draws from other uses of the same seed.
     let mut rng = seed ^ 0x005e_ed0f_da7a_u64;
@@ -58,22 +63,24 @@ pub fn replay_lossy(topo: &Topology, schedule: &Schedule, loss: f64, seed: u64) 
     let mut lost = 0;
     let mut stranded = 0;
 
-    for entry in &schedule.entries {
-        for &u in &entry.senders {
-            if !covered.contains(u.idx()) {
-                stranded += 1;
-                continue;
-            }
-            for &v in topo.neighbors(u) {
-                if covered.contains(v.idx()) {
+    for (ei, entry) in schedule.entries.iter().enumerate() {
+        for _attempt in 0..schedule.repeat_of(ei) {
+            for &u in &entry.senders {
+                if !covered.contains(u.idx()) {
+                    stranded += 1;
                     continue;
                 }
-                // Draw in [0,1): delivered iff above the loss threshold.
-                let draw = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
-                if draw < loss {
-                    lost += 1;
-                } else {
-                    covered.insert(v.idx());
+                for &v in topo.neighbors(u) {
+                    if covered.contains(v.idx()) {
+                        continue;
+                    }
+                    // Draw in [0,1): delivered iff above the loss threshold.
+                    let draw = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    if draw < loss_of(u, v) {
+                        lost += 1;
+                    } else {
+                        covered.insert(v.idx());
+                    }
                 }
             }
         }
@@ -83,6 +90,37 @@ pub fn replay_lossy(topo: &Topology, schedule: &Schedule, loss: f64, seed: u64) 
         lost_deliveries: lost,
         stranded_transmissions: stranded,
     }
+}
+
+/// Replays `schedule` with iid per-delivery loss probability `loss`.
+///
+/// A sender that never received the message (because its own delivery was
+/// lost) skips its slot — it has nothing to relay; the replay records the
+/// cascade. Interference is not re-checked: the schedule was conflict-free
+/// and losing transmissions only removes signals. Repeat slots
+/// (`schedule.repeats`) fire the whole entry once per occupied slot.
+///
+/// This is the uniform-quality convenience wrapper over
+/// [`replay_lossy_quality`]; the two are bit-identical when the quality is
+/// `LinkQuality::uniform(topo, 1.0 - loss)`.
+pub fn replay_lossy(topo: &Topology, schedule: &Schedule, loss: f64, seed: u64) -> LossyOutcome {
+    assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+    replay_with(topo, schedule, seed, |_, _| loss)
+}
+
+/// Replays `schedule` with per-link loss probabilities from `quality`:
+/// each candidate delivery `u → v` is dropped with probability
+/// `1 − quality.delivery(topo, u, v)`. Same cascade semantics and draw
+/// sequence as [`replay_lossy`].
+pub fn replay_lossy_quality(
+    topo: &Topology,
+    schedule: &Schedule,
+    quality: &LinkQuality,
+    seed: u64,
+) -> LossyOutcome {
+    replay_with(topo, schedule, seed, |u, v| {
+        1.0 - quality.delivery(topo, u, v)
+    })
 }
 
 /// Mean coverage over `trials` independent loss replays.
@@ -97,6 +135,24 @@ pub fn mean_coverage(
     (0..trials)
         .map(|t| {
             replay_lossy(topo, schedule, loss, seed.wrapping_add(t as u64)).coverage(topo.len())
+        })
+        .sum::<f64>()
+        / trials as f64
+}
+
+/// Mean coverage over `trials` independent per-link-quality replays.
+pub fn mean_coverage_quality(
+    topo: &Topology,
+    schedule: &Schedule,
+    quality: &LinkQuality,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0);
+    (0..trials)
+        .map(|t| {
+            replay_lossy_quality(topo, schedule, quality, seed.wrapping_add(t as u64))
+                .coverage(topo.len())
         })
         .sum::<f64>()
         / trials as f64
@@ -159,6 +215,48 @@ mod tests {
         assert!(
             c_lean <= c_red + 0.05,
             "lean {c_lean:.3} vs redundant {c_red:.3}"
+        );
+    }
+
+    #[test]
+    fn uniform_quality_is_bit_identical_to_global_loss() {
+        use wsn_topology::LinkQuality;
+        let (topo, s) = schedule_for(150, 6);
+        for &loss in &[0.0, 0.125, 0.2, 0.5] {
+            let q = LinkQuality::uniform(&topo, 1.0 - loss);
+            for seed in 0..5u64 {
+                let a = replay_lossy(&topo, &s, loss, seed);
+                let b = replay_lossy_quality(&topo, &s, &q, seed);
+                assert_eq!(a.covered.to_vec(), b.covered.to_vec());
+                assert_eq!(a.lost_deliveries, b.lost_deliveries);
+                assert_eq!(a.stranded_transmissions, b.stranded_transmissions);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_quality_hurts_far_links_more() {
+        use wsn_topology::{LinkQuality, LinkQualityParams};
+        let (topo, s) = schedule_for(150, 8);
+        let clean = LinkQuality::uniform(&topo, 1.0);
+        let noisy = LinkQuality::synthetic(&topo, &LinkQualityParams::default(), 21);
+        let c_clean = mean_coverage_quality(&topo, &s, &clean, 10, 3);
+        let c_noisy = mean_coverage_quality(&topo, &s, &noisy, 10, 3);
+        assert_eq!(c_clean, 1.0);
+        assert!(c_noisy < 1.0, "synthetic loss must bite: {c_noisy:.3}");
+    }
+
+    #[test]
+    fn repeat_slots_recover_coverage() {
+        let (topo, s) = schedule_for(120, 9);
+        // Give every entry three attempts.
+        let mut boosted = s.clone();
+        boosted.repeats = vec![3; boosted.entries.len()];
+        let base = mean_coverage(&topo, &s, 0.3, 20, 13);
+        let more = mean_coverage(&topo, &boosted, 0.3, 20, 13);
+        assert!(
+            more > base,
+            "repeats must raise coverage: {more:.3} vs {base:.3}"
         );
     }
 

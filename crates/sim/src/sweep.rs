@@ -107,6 +107,7 @@ impl Sweep {
         // One result bucket per (node count, algorithm, model index).
         let mut latency: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
         let mut transmissions: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
+        let mut coverage: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
         let mut opt_analysis: HashMap<usize, Summary> = HashMap::new();
         let mut baseline_bound: HashMap<usize, Summary> = HashMap::new();
         let mut eccentricity: HashMap<usize, Summary> = HashMap::new();
@@ -179,6 +180,10 @@ impl Sweep {
                     .entry((rec.nodes, *alg, rec.model_idx))
                     .or_default()
                     .push(r.transmissions as f64);
+                coverage
+                    .entry((rec.nodes, *alg, rec.model_idx))
+                    .or_default()
+                    .push(r.mean_coverage);
                 if r.exact == Some(false) {
                     inexact += 1;
                 }
@@ -210,12 +215,11 @@ impl Sweep {
                 .algorithms
                 .iter()
                 .flat_map(|&alg| (0..self.models.len()).map(move |mi| (alg, mi)))
-                .map(|(alg, mi)| {
-                    (
-                        self.result_label(alg, mi),
-                        latency.remove(&(nodes, alg, mi)).unwrap_or_default(),
-                        transmissions.remove(&(nodes, alg, mi)).unwrap_or_default(),
-                    )
+                .map(|(alg, mi)| AlgorithmSummary {
+                    name: self.result_label(alg, mi),
+                    latency: latency.remove(&(nodes, alg, mi)).unwrap_or_default(),
+                    transmissions: transmissions.remove(&(nodes, alg, mi)).unwrap_or_default(),
+                    coverage: coverage.remove(&(nodes, alg, mi)).unwrap_or_default(),
                 })
                 .collect();
             points.push(SweepPointResult {
@@ -294,6 +298,20 @@ struct InstanceRecord {
     runs: Vec<(Algorithm, crate::algorithm::RunResult)>,
 }
 
+/// Per-algorithm aggregates at one sweep point.
+#[derive(Clone, Debug)]
+pub struct AlgorithmSummary {
+    /// Display label (`name`, or `name@model` on a model-axis sweep).
+    pub name: String,
+    /// End-to-end latency across instances.
+    pub latency: Summary,
+    /// Transmission counts across instances.
+    pub transmissions: Summary,
+    /// Mean lossy-replay coverage across instances — the first-class
+    /// reliability metric ([`crate::RunResult::mean_coverage`]).
+    pub coverage: Summary,
+}
+
 /// Aggregates for one node count.
 #[derive(Clone, Debug)]
 pub struct SweepPointResult {
@@ -301,8 +319,8 @@ pub struct SweepPointResult {
     pub nodes: usize,
     /// Density in nodes per sq ft.
     pub density: f64,
-    /// Per algorithm: (name, latency summary, transmissions summary).
-    pub per_algorithm: Vec<(String, Summary, Summary)>,
+    /// Per-algorithm aggregates, in `algorithms × models` order.
+    pub per_algorithm: Vec<AlgorithmSummary>,
     /// Theorem 1 bound across instances.
     pub opt_analysis: Summary,
     /// Baseline analytical bound across instances.
@@ -328,8 +346,19 @@ impl SweepResult {
         self.points.iter().find(|p| p.nodes == nodes).and_then(|p| {
             p.per_algorithm
                 .iter()
-                .find(|(n, _, _)| n == name)
-                .map(|(_, lat, _)| lat.mean())
+                .find(|a| a.name == name)
+                .map(|a| a.latency.mean())
+        })
+    }
+
+    /// Mean lossy-replay coverage of `name` at the sweep point for
+    /// `nodes`, if present.
+    pub fn mean_coverage(&self, nodes: usize, name: &str) -> Option<f64> {
+        self.points.iter().find(|p| p.nodes == nodes).and_then(|p| {
+            p.per_algorithm
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.coverage.mean())
         })
     }
 
@@ -343,13 +372,13 @@ impl SweepResult {
             let b = p
                 .per_algorithm
                 .iter()
-                .find(|(n, _, _)| n == baseline)
-                .map(|(_, l, _)| l.mean());
+                .find(|a| a.name == baseline)
+                .map(|a| a.latency.mean());
             let g = p
                 .per_algorithm
                 .iter()
-                .find(|(n, _, _)| n == better)
-                .map(|(_, l, _)| l.mean());
+                .find(|a| a.name == better)
+                .map(|a| a.latency.mean());
             if let (Some(b), Some(g)) = (b, g) {
                 if b > 0.0 {
                     acc += 1.0 - g / b;
@@ -395,10 +424,13 @@ mod tests {
         assert_eq!(r.points.len(), 2);
         for p in &r.points {
             assert_eq!(p.per_algorithm.len(), 3);
-            for (_, lat, tx) in &p.per_algorithm {
-                assert_eq!(lat.count(), 3);
-                assert_eq!(tx.count(), 3);
-                assert!(lat.mean() >= 1.0);
+            for a in &p.per_algorithm {
+                assert_eq!(a.latency.count(), 3);
+                assert_eq!(a.transmissions.count(), 3);
+                assert!(a.latency.mean() >= 1.0);
+                assert_eq!(a.coverage.count(), 3);
+                assert!((0.0..=1.0).contains(&a.coverage.mean()));
+                assert!(a.coverage.mean() > 0.5, "10% loss can't erase coverage");
             }
             assert_eq!(p.eccentricity.count(), 3);
         }
@@ -428,15 +460,22 @@ mod tests {
         let a = tiny_sweep(1);
         let b = tiny_sweep(4);
         for (pa, pb) in a.points.iter().zip(&b.points) {
-            for ((na, la, _), (nb, lb, _)) in pa.per_algorithm.iter().zip(&pb.per_algorithm) {
-                assert_eq!(na, nb);
+            for (a, b) in pa.per_algorithm.iter().zip(&pb.per_algorithm) {
+                assert_eq!(a.name, b.name);
                 assert_eq!(
-                    la.mean(),
-                    lb.mean(),
-                    "algorithm {na} differs across thread counts"
+                    a.latency.mean(),
+                    b.latency.mean(),
+                    "algorithm {} differs across thread counts",
+                    a.name
                 );
-                assert_eq!(la.min(), lb.min());
-                assert_eq!(la.max(), lb.max());
+                assert_eq!(a.latency.min(), b.latency.min());
+                assert_eq!(a.latency.max(), b.latency.max());
+                assert_eq!(
+                    a.coverage.mean(),
+                    b.coverage.mean(),
+                    "coverage of {} differs across thread counts",
+                    a.name
+                );
             }
         }
     }
@@ -477,16 +516,16 @@ mod tests {
             let layered = p
                 .per_algorithm
                 .iter()
-                .find(|(n, _, _)| n == "26-approx")
+                .find(|a| a.name == "26-approx")
                 .unwrap()
-                .1
+                .latency
                 .mean();
             let gopt = p
                 .per_algorithm
                 .iter()
-                .find(|(n, _, _)| n == "G-OPT")
+                .find(|a| a.name == "G-OPT")
                 .unwrap()
-                .1
+                .latency
                 .mean();
             assert!(gopt <= layered);
         }
@@ -531,8 +570,8 @@ mod tests {
         assert!(r.mean_latency(50, "G-OPT@protocol-k2").unwrap() >= 1.0);
         // Instance metrics are recorded once per instance, not per model.
         assert_eq!(p.eccentricity.count(), 2);
-        for (_, lat, _) in &p.per_algorithm {
-            assert_eq!(lat.count(), 2);
+        for a in &p.per_algorithm {
+            assert_eq!(a.latency.count(), 2);
         }
     }
 

@@ -12,12 +12,16 @@
 //!   area with radius 10 ft, plus grid / clustered / punched-hole variants
 //!   and eccentricity-constrained source selection (5–8 hops);
 //! * [`metrics`] — BFS hop distances, eccentricity, diameter;
+//! * [`LinkQuality`] — per-link delivery probabilities layered over the
+//!   UDG edges (uniform or synthetic distance-correlated loss with
+//!   flap-prone edges), the substrate of every loss-aware path;
 //! * [`boundary`] — the network-edge detection used to seed the E-model
 //!   (convex hull + angular-gap boundary construction; paper refs [3], [6]);
 //! * [`fixtures`] — the paper's Figure 1 and Figure 2 example networks,
 //!   reconstructed so the UDG reproduces Table II/III/IV exactly.
 
 mod csr;
+mod quality;
 mod topo;
 
 pub mod boundary;
@@ -28,6 +32,7 @@ pub mod io;
 pub mod metrics;
 
 pub use csr::Csr;
+pub use quality::{LinkQuality, LinkQualityParams};
 pub use topo::Topology;
 
 /// Index of a node in a topology. Kept as a bare `u32` newtype: node counts

@@ -30,6 +30,29 @@ pub fn bfs_hops(topo: &Topology, source: NodeId) -> Vec<u32> {
     dist
 }
 
+/// BFS hop distances from `source` over the subgraph induced by excluding
+/// `excluded` (dead nodes under churn). Excluded and unreachable nodes get
+/// [`UNREACHABLE`] — the repair tier treats both the same way.
+pub fn bfs_hops_masked(topo: &Topology, source: NodeId, excluded: &NodeSet) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; topo.len()];
+    if excluded.contains(source.idx()) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.idx()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.idx()];
+        for &v in topo.neighbors(u) {
+            if dist[v.idx()] == UNREACHABLE && !excluded.contains(v.idx()) {
+                dist[v.idx()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
 /// Multi-source BFS: hop distance from the nearest member of `sources`.
 ///
 /// This is the branch-and-bound lower bound of the OPT/G-OPT searches: an
@@ -116,6 +139,23 @@ mod tests {
         assert_eq!(eccentricity(&t, NodeId(0)), None);
         assert_eq!(diameter(&t), None);
         assert_eq!(bfs_hops(&t, NodeId(0))[1], UNREACHABLE);
+    }
+
+    #[test]
+    fn masked_bfs_skips_dead_nodes() {
+        let t = path5();
+        let dead = NodeSet::from_indices(5, [2]);
+        let d = bfs_hops_masked(&t, NodeId(0), &dead);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        // Node 2 is dead; 3 and 4 are stranded behind it.
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+        assert_eq!(d[4], UNREACHABLE);
+        // A dead source reaches nothing.
+        assert!(bfs_hops_masked(&t, NodeId(2), &dead)
+            .iter()
+            .all(|&x| x == UNREACHABLE));
     }
 
     #[test]

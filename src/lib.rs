@@ -135,6 +135,33 @@
 //! `--search-threads` flag), and `claims --parallel-bench-only` emits
 //! `BENCH_parallel.json` recording construction speedups and
 //! quality-at-budget across 1/2/4/8 threads.
+//!
+//! ## The reliability tier
+//!
+//! The paper's links are lossless; real links are not. A
+//! [`topology::LinkQuality`] layer attaches per-link delivery
+//! probabilities to the UDG (uniform, or a synthetic distance law with a
+//! flap-prone subset), schedules carry per-entry *repeat counts* (an
+//! entry occupies `[slot, slot + repeats)` and re-fires each slot —
+//! empty repeats is the lossless encoding, bit-identical everywhere),
+//! and `Schedule::verify_reliability` checks every node's delivery bound
+//! reaches `1 − ε` under any conflict model.
+//! [`anytime::solve_anytime_reliable`] plans repeats on top of the
+//! anytime incumbent (demand per serving link, escalation where the
+//! bound falls short, a trim pass dropping unneeded retransmissions),
+//! [`anytime::reschedule`] repairs a running schedule after node deaths
+//! — warm-starting from the surviving placements, re-covering only the
+//! stranded subtree, reporting disconnected nodes instead of failing,
+//! and never ending worse than a cold re-legalization —
+//! and `wsn-sim` closes the loop: per-link lossy replay
+//! ([`sim::replay_lossy_quality`]), a seeded fault harness
+//! ([`sim::FaultScript`]: node death, link flap, loss bursts) whose
+//! dead set feeds [`anytime::ChurnDelta`], and a TWCC-shaped online
+//! estimator ([`sim::LinkEstimator`]) fusing windowed ack history with
+//! delivery-delay inflation to detect drift and trigger re-planning.
+//! `claims --reliability-bench-only` emits `BENCH_reliability.json`
+//! (ε-coverage vs blind retransmission at equal slot budget, repair
+//! wall time vs cold re-solve).
 
 pub use mlbs_core as core;
 pub use wsn_anytime as anytime;
@@ -155,12 +182,13 @@ pub mod prelude {
     pub use mlbs_core::{
         bounds, run_pipeline, run_pipeline_model, run_pipeline_with, solve_gopt, solve_gopt_model,
         solve_gopt_with, solve_opt, solve_opt_model, solve_opt_with, BranchOrder, BroadcastState,
-        ColorSelector, EModel, EModelSelector, MaxReceiversSelector, PipelineConfig, Schedule,
-        ScheduleEntry, ScheduleError, SearchConfig, SearchOutcome,
+        ColorSelector, EModel, EModelSelector, MaxReceiversSelector, PipelineConfig,
+        ReliabilityReport, Schedule, ScheduleEntry, ScheduleError, SearchConfig, SearchOutcome,
     };
     pub use wsn_anytime::{
-        solve_anytime, solve_anytime_cached, AnytimeConfig, AnytimeOutcome, Budget, Portfolio,
-        ScheduleCache, TracePoint,
+        reschedule, reschedule_cached, solve_anytime, solve_anytime_cached, solve_anytime_reliable,
+        AnytimeConfig, AnytimeOutcome, Budget, ChurnDelta, Portfolio, ReliableOutcome,
+        RepairOutcome, ScheduleCache, TracePoint,
     };
     pub use wsn_baselines::{
         flood_once, schedule_17_approx, schedule_26_approx, schedule_cds_layered, schedule_layered,
@@ -180,10 +208,14 @@ pub mod prelude {
         ConflictModel, MultiChannel, PhyModel, PhyModelSpec, ProtocolModel, SinrModel, SinrParams,
     };
     pub use wsn_sim::{
-        run_instance, run_instance_exec, run_instance_model, run_instance_with, Algorithm,
-        AnytimeExec, Regime, Summary, Sweep,
+        mean_coverage_quality, replay_faulty, replay_lossy, replay_lossy_quality, run_instance,
+        run_instance_exec, run_instance_model, run_instance_with, simulate_acks, Algorithm,
+        AnytimeExec, FaultParams, FaultScript, LinkEstimator, Regime, Summary, Sweep,
     };
-    pub use wsn_topology::{deploy::SyntheticDeployment, fixtures, metrics, NodeId, Topology};
+    pub use wsn_topology::{
+        deploy::SyntheticDeployment, fixtures, metrics, LinkQuality, LinkQualityParams, NodeId,
+        Topology,
+    };
 }
 
 #[cfg(test)]

@@ -53,10 +53,15 @@ impl ScheduleCache {
         match self.map.get(&key) {
             Some(s) => {
                 self.hits += 1;
+                wsn_obs::counter_add("cache.hits", 1);
+                // Warm-start depth: the latency the chain gets to start
+                // from instead of a cold greedy seed.
+                wsn_obs::observe_us("cache.warm_start_depth_slots", s.latency());
                 Some(s.clone())
             }
             None => {
                 self.misses += 1;
+                wsn_obs::counter_add("cache.misses", 1);
                 None
             }
         }
@@ -82,6 +87,7 @@ impl ScheduleCache {
                 self.map.insert(key, schedule.clone());
             }
         }
+        wsn_obs::gauge_set("cache.entries", self.map.len() as i64);
     }
 
     /// Number of cached schedules.

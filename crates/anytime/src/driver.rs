@@ -75,10 +75,17 @@ impl Default for AnytimeConfig {
 /// One point of the improving-bound trace: the incumbent latency as of
 /// `elapsed_ms` since the search started. Strictly improving by
 /// construction (one point per accepted incumbent).
+///
+/// Each point carries both the monotonic wall-clock offset *and* the
+/// deterministic move count at acceptance, so time-to-quality curves are
+/// plottable straight from sweep exports (moves for reproducible x-axes
+/// under iteration budgets, milliseconds for real-time curves).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TracePoint {
-    /// Milliseconds since `solve_anytime` was entered.
+    /// Milliseconds since `solve_anytime` was entered (monotonic clock).
     pub elapsed_ms: u64,
+    /// Deterministic work units spent when this incumbent was accepted.
+    pub moves: u64,
     /// Incumbent latency at that moment.
     pub latency: Slot,
 }
@@ -277,6 +284,9 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
             .unwrap_or(0),
     );
 
+    // One span per chain; under a portfolio each worker thread gets its
+    // own tid, so the Chrome export shows the workers side by side.
+    let mut chain_span = wsn_obs::span("anytime.chain");
     let mut clock = Clock {
         budget: config.budget,
         started: Instant::now(),
@@ -306,10 +316,12 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
         .is_ok());
     let mut trace = vec![TracePoint {
         elapsed_ms: clock.elapsed_ms(),
+        moves: clock.moves,
         latency: best.latency(),
     }];
     let mut detail = Vec::new();
     push_detail(&mut detail, &clock, best.latency(), TraceKind::Incumbent);
+    wsn_obs::event_value("anytime.incumbent", best.latency() as i64);
     if let Some(shared) = ctx.shared {
         shared.offer(&best, topo.len());
     }
@@ -338,14 +350,17 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
                 best = elite;
                 trace.push(TracePoint {
                     elapsed_ms: clock.elapsed_ms(),
+                    moves: clock.moves,
                     latency: best.latency(),
                 });
                 push_detail(&mut detail, &clock, best.latency(), TraceKind::Incumbent);
+                wsn_obs::event_value("anytime.adopt", best.latency() as i64);
                 stalls = 0;
             }
         }
 
         passes += 1;
+        let _pass_span = wsn_obs::span("anytime.pass");
         let kick = stalls >= config.stalls_before_kick;
         let restarted = kick && passes.is_multiple_of(2);
         let candidate = if restarted {
@@ -353,6 +368,7 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
             // jittered priorities), steered away from the shared elite's
             // early-sender signature when running in a portfolio.
             restarts += 1;
+            wsn_obs::event("anytime.restart");
             clock.moves += topo.len() as u64 / 64 + 1;
             let bias_sig = ctx.shared.and_then(SharedBest::elite_signature);
             Some(legalizer.legalize(
@@ -377,6 +393,7 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
             clock.moves += partial.relays().len() as u64 / 8 + 1;
             let started = if kick {
                 restarts += 1;
+                wsn_obs::event("anytime.squash_kick");
                 partial.begin_squash(wake, &mut rng)
             } else {
                 partial.begin_compress()
@@ -438,9 +455,11 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
                     best = cand;
                     trace.push(TracePoint {
                         elapsed_ms: clock.elapsed_ms(),
+                        moves: clock.moves,
                         latency: best.latency(),
                     });
                     push_detail(&mut detail, &clock, best.latency(), TraceKind::Incumbent);
+                    wsn_obs::event_value("anytime.incumbent", best.latency() as i64);
                     if let Some(shared) = ctx.shared {
                         shared.offer(&best, topo.len());
                     }
@@ -472,6 +491,22 @@ pub(crate) fn run_chain<S: WakeSchedule, M: ConflictModel>(
 
     let proved_optimal = best.latency() <= depth;
     let latency = best.latency();
+    if wsn_obs::enabled() {
+        chain_span.set_value(latency as i64);
+        drop(chain_span);
+        wsn_obs::counter_add("anytime.solves", 1);
+        wsn_obs::counter_add("anytime.moves", clock.moves);
+        wsn_obs::counter_add("anytime.passes", passes);
+        wsn_obs::counter_add("anytime.restarts", restarts);
+        if proved_optimal {
+            wsn_obs::counter_add("anytime.proved_optimal", 1);
+        }
+        wsn_obs::observe_us(
+            "anytime.wall_us",
+            clock.started.elapsed().as_micros() as u64,
+        );
+        wsn_obs::observe_us("anytime.latency_slots", latency as u64);
+    }
     AnytimeOutcome {
         schedule: best,
         latency,

@@ -191,8 +191,15 @@ impl Portfolio {
         S: WakeSchedule + Sync,
         M: ConflictModel,
     {
+        let mut solve_span = wsn_obs::span("portfolio.solve");
+        wsn_obs::counter_add("portfolio.solves", 1);
+        wsn_obs::counter_add("portfolio.chains", self.threads as u64);
+        wsn_obs::gauge_set("portfolio.threads", self.threads as i64);
+        if warm.is_some() {
+            wsn_obs::counter_add("portfolio.warm_starts", 1);
+        }
         if self.threads == 1 {
-            return run_chain(
+            let out = run_chain(
                 topo,
                 source,
                 wake,
@@ -204,6 +211,8 @@ impl Portfolio {
                     dead: None,
                 },
             );
+            solve_span.set_value(out.latency as i64);
+            return out;
         }
         // Incumbent exchange only under wall-clock budgets: iteration
         // budgets promise bit-reproducibility, and cross-thread adoption
@@ -253,6 +262,7 @@ impl Portfolio {
         out.moves = moves;
         out.passes = passes;
         out.restarts = restarts;
+        solve_span.set_value(out.latency as i64);
         out
     }
 

@@ -523,6 +523,8 @@ pub fn solve_anytime_reliable<S: WakeSchedule, M: ConflictModel>(
     epsilon: f64,
     config: &AnytimeConfig,
 ) -> ReliableOutcome {
+    let mut solve_span = wsn_obs::span("reliable.solve");
+    let solve_started = wsn_obs::enabled().then(std::time::Instant::now);
     let base = solve_anytime(topo, source, wake, model, config);
     let planned = plan_repeats(&base.schedule, topo, wake, model, quality, epsilon);
     let planned_budget = planned.slot_budget();
@@ -554,6 +556,19 @@ pub fn solve_anytime_reliable<S: WakeSchedule, M: ConflictModel>(
         expanded_latency: schedule.latency(),
         slot_budget: schedule.slot_budget(),
     };
+    if let Some(t0) = solve_started {
+        wsn_obs::counter_add("reliable.solves", 1);
+        if meets_target {
+            wsn_obs::counter_add("reliable.targets_met", 1);
+        }
+        wsn_obs::counter_add(
+            "reliable.trimmed_slots",
+            planned_budget.saturating_sub(schedule.slot_budget()),
+        );
+        wsn_obs::observe_us("reliable.wall_us", t0.elapsed().as_micros() as u64);
+        wsn_obs::observe_us("reliable.slot_budget", schedule.slot_budget());
+        solve_span.set_value(schedule.latency() as i64);
+    }
     ReliableOutcome {
         trimmed_slots: planned_budget.saturating_sub(schedule.slot_budget()),
         meets_target,

@@ -181,6 +181,8 @@ pub fn reschedule<S: WakeSchedule, M: ConflictModel>(
     delta: &ChurnDelta,
     config: &AnytimeConfig,
 ) -> RepairOutcome {
+    let mut repair_span = wsn_obs::span("repair.reschedule");
+    let repair_started = wsn_obs::enabled().then(std::time::Instant::now);
     let n = topo.len();
     let mut mask = NodeSet::new(n);
     for &d in &delta.dead {
@@ -204,6 +206,7 @@ pub fn reschedule<S: WakeSchedule, M: ConflictModel>(
     }
     let (filtered, reused) = filter_schedule(old, &mask);
 
+    let warm_started = repair_started.map(|_| std::time::Instant::now());
     let mut outcome = run_chain(
         topo,
         source,
@@ -216,12 +219,16 @@ pub fn reschedule<S: WakeSchedule, M: ConflictModel>(
             dead: Some(&mask),
         },
     );
+    if let Some(t0) = warm_started {
+        wsn_obs::observe_us("repair.warm_us", t0.elapsed().as_micros() as u64);
+    }
     // Guarantee "never worse than re-legalizing from scratch": race one
     // cold greedy construction under the same mask.
     let cold_cfg = AnytimeConfig {
         budget: Budget::Iterations(0),
         ..config.clone()
     };
+    let cold_started = repair_started.map(|_| std::time::Instant::now());
     let cold = run_chain(
         topo,
         source,
@@ -234,13 +241,36 @@ pub fn reschedule<S: WakeSchedule, M: ConflictModel>(
             dead: Some(&mask),
         },
     );
-    if cold.latency < outcome.latency {
+    if let Some(t0) = cold_started {
+        wsn_obs::observe_us("repair.cold_us", t0.elapsed().as_micros() as u64);
+    }
+    let cold_won = cold.latency < outcome.latency;
+    if cold_won {
         outcome = cold;
     }
     debug_assert!(outcome
         .schedule
         .verify_covering_with_model(topo, wake, model, Some(&mask))
         .is_ok());
+    if let Some(t0) = repair_started {
+        // Race outcome: which arm produced the kept schedule. Ties go to
+        // the warm chain (it already embeds the cold construction's
+        // quality floor via the `<` comparison above).
+        wsn_obs::counter_add(
+            if cold_won {
+                "repair.cold_wins"
+            } else {
+                "repair.warm_wins"
+            },
+            1,
+        );
+        wsn_obs::counter_add("repair.reschedules", 1);
+        wsn_obs::counter_add("repair.reused_placements", reused as u64);
+        wsn_obs::counter_add("repair.stranded_nodes", stranded as u64);
+        wsn_obs::counter_add("repair.uncovered_nodes", uncovered.len() as u64);
+        wsn_obs::observe_us("repair.wall_us", t0.elapsed().as_micros() as u64);
+        repair_span.set_value(outcome.latency as i64);
+    }
 
     RepairOutcome {
         outcome,

@@ -1,0 +1,157 @@
+//! Observability-layer benches: the cost of the `wsn-obs` primitives with
+//! the global recorder disabled (the always-on production default) and
+//! enabled, plus a recorded end-to-end anytime solve. Doubles as the CI
+//! smoke (`--test`): the setup asserts the disabled path performs **zero
+//! heap allocations** (counted by a wrapping global allocator), that an
+//! installed recorder actually populates counters/histograms/events, and
+//! that recording never perturbs the solve itself (bit-identical
+//! schedules enabled vs disabled).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wsn_anytime::{solve_anytime, AnytimeConfig, Budget};
+use wsn_dutycycle::AlwaysAwake;
+use wsn_obs::Recorder;
+use wsn_phy::ProtocolModel;
+use wsn_topology::deploy::SyntheticDeployment;
+
+/// Counts every heap allocation made through the global allocator so the
+/// disabled-path zero-allocation contract is measurable, not asserted by
+/// inspection.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many allocations it performed.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn bench_disabled_primitives(c: &mut Criterion) {
+    assert!(
+        !wsn_obs::enabled(),
+        "bench assumes no recorder is installed at start"
+    );
+    // CI smoke: with no recorder installed, the full primitive surface —
+    // counters, gauges, histograms, instants, spans — must not allocate.
+    let allocs = allocations_during(|| {
+        for i in 0..10_000u64 {
+            wsn_obs::counter_add("bench.counter", 1);
+            wsn_obs::gauge_set("bench.gauge", i as i64);
+            wsn_obs::observe_us("bench.hist", i);
+            wsn_obs::event("bench.instant");
+            wsn_obs::event_value("bench.instant_v", i as i64);
+            let span = wsn_obs::span("bench.span");
+            drop(black_box(span));
+        }
+    });
+    assert_eq!(allocs, 0, "disabled obs path must not allocate");
+
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| wsn_obs::counter_add(black_box("bench.counter"), 1))
+    });
+    group.bench_function("observe_us", |b| {
+        b.iter(|| wsn_obs::observe_us(black_box("bench.hist"), 42))
+    });
+    group.bench_function("span", |b| {
+        b.iter(|| wsn_obs::span(black_box("bench.span")))
+    });
+    group.finish();
+}
+
+fn bench_enabled_primitives(c: &mut Criterion) {
+    let rec = Recorder::new();
+    wsn_obs::install(rec.clone());
+    // CI smoke: an installed recorder actually captures what the free
+    // functions report.
+    wsn_obs::counter_add("bench.smoke", 3);
+    wsn_obs::observe_us("bench.smoke_us", 7);
+    {
+        let _span = wsn_obs::span("bench.smoke_span");
+    }
+    wsn_obs::event("bench.smoke_event");
+    assert_eq!(rec.counter_value("bench.smoke"), 3);
+    let snap = rec
+        .histogram_snapshot("bench.smoke_us")
+        .expect("histogram must exist once observed");
+    assert_eq!(snap.count, 1);
+    assert!(
+        rec.events_snapshot()
+            .iter()
+            .any(|e| e.name == "bench.smoke_span"),
+        "span guard must record on drop"
+    );
+
+    let mut group = c.benchmark_group("obs_enabled");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| wsn_obs::counter_add(black_box("bench.counter"), 1))
+    });
+    group.bench_function("observe_us", |b| {
+        b.iter(|| wsn_obs::observe_us(black_box("bench.hist"), 42))
+    });
+    group.bench_function("span", |b| {
+        b.iter(|| wsn_obs::span(black_box("bench.span")))
+    });
+    group.finish();
+    wsn_obs::uninstall();
+}
+
+fn bench_recorded_solve(c: &mut Criterion) {
+    let (topo, src) = SyntheticDeployment::paper(120).sample(5);
+    let cfg = AnytimeConfig {
+        budget: Budget::Iterations(10_000),
+        ..AnytimeConfig::default()
+    };
+    // CI smoke: recording is invisible to the search — same schedule,
+    // same work accounting, enabled vs disabled.
+    let plain = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg);
+    let rec = Recorder::new();
+    wsn_obs::install(rec.clone());
+    let recorded = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg);
+    wsn_obs::uninstall();
+    assert_eq!(recorded.latency, plain.latency);
+    assert_eq!(recorded.schedule.entries, plain.schedule.entries);
+    assert_eq!(recorded.moves, plain.moves);
+    assert_eq!(rec.counter_value("anytime.solves"), 1);
+    assert!(rec.counter_value("anytime.moves") >= plain.moves);
+
+    let mut group = c.benchmark_group("obs_recorded_solve");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| solve_anytime(black_box(&topo), src, &AlwaysAwake, &ProtocolModel, &cfg))
+    });
+    group.bench_function("enabled", |b| {
+        let rec = Recorder::new();
+        wsn_obs::install(rec);
+        b.iter(|| solve_anytime(black_box(&topo), src, &AlwaysAwake, &ProtocolModel, &cfg));
+        wsn_obs::uninstall();
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_disabled_primitives,
+    bench_enabled_primitives,
+    bench_recorded_solve
+);
+criterion_main!(benches);

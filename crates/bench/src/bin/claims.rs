@@ -781,6 +781,231 @@ fn emit_reliability_baseline(path: &str, max_nodes: usize) {
     }
 }
 
+/// Emits `BENCH_obs.json`: the observability layer's two contracts, both
+/// measured on this machine.
+///
+/// 1. **Recording never perturbs the stack.** The disabled-recorder
+///    anytime runs must stay bit-identical to the PR 5/PR 6 serial-chain
+///    pins, and the *enabled* runs bit-identical to the disabled ones —
+///    instrumentation only reads search state.
+/// 2. **The enabled recorder is cheap at solve granularity.** Overhead on
+///    the 10k-node anytime pin must stay within 10% (best-of-5 alternating
+///    walls; the instrumentation is per-pass/per-solve, never per-move).
+///
+/// Alongside, it exercises the full metric surface (searcher, portfolio,
+/// cache, repair families) and validates both exporters: the Chrome trace
+/// parses as JSON, the Prometheus exposition carries every family.
+fn emit_obs_baseline(path: &str) {
+    use wsn_anytime::{reschedule, solve_anytime_cached, ChurnDelta, Portfolio, ScheduleCache};
+    use wsn_obs::{export, Recorder};
+
+    /// Order-sensitive digest of a schedule's entries (the serial-pin
+    /// signature).
+    fn schedule_sig(out: &wsn_anytime::AnytimeOutcome) -> u64 {
+        out.schedule
+            .entries
+            .iter()
+            .map(|e| {
+                e.slot.wrapping_mul(31) ^ e.senders.iter().map(|s| u64::from(s.0)).sum::<u64>()
+            })
+            .fold(0u64, |acc, x| acc.rotate_left(7) ^ x)
+    }
+
+    // The PR 5 serial-chain pins (crates/anytime/tests/serial_pin.rs):
+    // (n, deployment seed, iteration budget) → (latency, moves, passes,
+    // restarts, entries, sig).
+    #[allow(clippy::type_complexity)]
+    const PINS: [((usize, u64, u64), (u64, u64, u64, u64, usize, u64)); 3] = [
+        ((120, 5, 10_000), (5, 314, 72, 18, 5, 12_188_235_637)),
+        (
+            (200, 11, 30_000),
+            (7, 30_000, 7_500, 1_875, 7, 165_761_005_759_570),
+        ),
+        (
+            (300, 2, 25_000),
+            (8, 25_062, 9, 2, 8, 128_524_792_643_724_510),
+        ),
+    ];
+
+    assert!(
+        !wsn_obs::enabled(),
+        "obs baseline assumes no recorder is installed at start"
+    );
+    let rec = Recorder::new();
+    let mut pin_rows = Vec::new();
+    for ((n, seed, budget), (latency, moves, passes, restarts, entries, sig)) in PINS {
+        let (topo, src) = SyntheticDeployment::paper(n).sample(seed);
+        let cfg = AnytimeConfig {
+            budget: Budget::Iterations(budget),
+            ..AnytimeConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let off = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg);
+        let wall_us = t0.elapsed().as_micros();
+        let got = (
+            off.latency,
+            off.moves,
+            off.passes,
+            off.restarts,
+            off.schedule.entries.len(),
+            schedule_sig(&off),
+        );
+        check(
+            &format!("disabled-recorder pin matches serial chain at n={n} seed={seed}"),
+            got == (latency, moves, passes, restarts, entries, sig),
+            format!("got {got:?}"),
+        );
+        wsn_obs::install(rec.clone());
+        let on = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg);
+        wsn_obs::uninstall();
+        check(
+            &format!("enabled-recorder run is bit-identical at n={n} seed={seed}"),
+            on.schedule.entries == off.schedule.entries && on.moves == off.moves,
+            format!("latency {} vs {}", on.latency, off.latency),
+        );
+        pin_rows.push(format!(
+            "    {{\"nodes\": {n}, \"seed\": {seed}, \"iters\": {budget}, \
+             \"latency\": {}, \"moves\": {}, \"passes\": {}, \"restarts\": {}, \
+             \"entries\": {}, \"sig\": {}, \"wall_us\": {wall_us}}}",
+            got.0, got.1, got.2, got.3, got.4, got.5
+        ));
+    }
+
+    // Enabled-recorder overhead on the 10k-node anytime pin. Iteration
+    // budget keeps the work identical both ways; the budget is sized so a
+    // solve runs long enough (hundreds of ms) that scheduler noise is
+    // small relative to the wall, and best-of-5 alternating
+    // disabled/enabled screens slow drift (thermal, cache) out of the
+    // comparison.
+    let (topo, src) = SyntheticDeployment::scaled(10_000).sample(7);
+    let cfg = AnytimeConfig {
+        budget: Budget::Iterations(30_000),
+        ..AnytimeConfig::default()
+    };
+    let time_solve = |cfg: &AnytimeConfig| {
+        let t0 = std::time::Instant::now();
+        let out = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, cfg);
+        (t0.elapsed().as_micros(), out)
+    };
+    let _warmup = time_solve(&cfg);
+    let mut disabled_us = u128::MAX;
+    let mut disabled_sig = 0u64;
+    let mut enabled_us = u128::MAX;
+    let mut enabled_sig = 0u64;
+    for _ in 0..5 {
+        let (us, out) = time_solve(&cfg);
+        disabled_us = disabled_us.min(us);
+        disabled_sig = schedule_sig(&out);
+        wsn_obs::install(rec.clone());
+        let (us, out) = time_solve(&cfg);
+        wsn_obs::uninstall();
+        enabled_us = enabled_us.min(us);
+        enabled_sig = schedule_sig(&out);
+    }
+    wsn_obs::install(rec.clone());
+    let overhead = enabled_us as f64 / disabled_us.max(1) as f64 - 1.0;
+    check(
+        "enabled-recorder overhead ≤10% on the 10k-node anytime pin",
+        overhead <= 0.10,
+        format!(
+            "enabled {enabled_us}us vs disabled {disabled_us}us ({:+.1}%)",
+            overhead * 100.0
+        ),
+    );
+    check(
+        "10k-node schedule identical enabled vs disabled",
+        enabled_sig == disabled_sig,
+        format!("sig {enabled_sig} vs {disabled_sig}"),
+    );
+
+    // Exercise the remaining metric families on paper-scale instances
+    // (the recorder is still installed): searcher.* via G-OPT, portfolio.*
+    // via a 2-chain solve, cache.* via a warm-start miss + hit, repair.*
+    // via a single-death reschedule.
+    let (ptopo, psrc) = SyntheticDeployment::paper(120).sample(5);
+    let _ = mlbs_core::solve_gopt(&ptopo, psrc, &AlwaysAwake, &SearchConfig::default());
+    let pcfg = AnytimeConfig {
+        budget: Budget::Iterations(2_000),
+        ..AnytimeConfig::default()
+    };
+    let _ =
+        Portfolio::with_config(pcfg.clone(), 2).solve(&ptopo, psrc, &AlwaysAwake, &ProtocolModel);
+    let mut cache = ScheduleCache::new();
+    let cold = solve_anytime_cached(
+        &ptopo,
+        psrc,
+        &AlwaysAwake,
+        &ProtocolModel,
+        &pcfg,
+        &mut cache,
+    );
+    let _ = solve_anytime_cached(
+        &ptopo,
+        psrc,
+        &AlwaysAwake,
+        &ProtocolModel,
+        &pcfg,
+        &mut cache,
+    );
+    let victim = cold
+        .schedule
+        .entries
+        .iter()
+        .flat_map(|e| e.senders.iter().copied())
+        .find(|&u| u != psrc)
+        .expect("some non-source relay");
+    let _ = reschedule(
+        &ptopo,
+        psrc,
+        &AlwaysAwake,
+        &ProtocolModel,
+        &cold.schedule,
+        &ChurnDelta::deaths(vec![victim]),
+        &pcfg,
+    );
+    wsn_obs::uninstall();
+
+    // Exporter validation on the accumulated recorder.
+    let chrome = export::chrome_trace(&rec);
+    let chrome_valid = export::validate_json(&chrome).is_ok();
+    check(
+        "Chrome trace export is valid JSON",
+        chrome_valid,
+        format!("{} bytes", chrome.len()),
+    );
+    let prom = export::prometheus(&rec);
+    let families = [
+        ("searcher", "searcher_gopt_solves_total"),
+        ("portfolio", "portfolio_solves_total"),
+        ("cache", "cache_hits_total"),
+        ("repair", "repair_reschedules_total"),
+    ];
+    for (family, metric) in families {
+        check(
+            &format!("Prometheus exposition carries the {family} family"),
+            prom.contains(metric),
+            format!("looking for {metric}"),
+        );
+    }
+    let events = rec.events_snapshot().len();
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"disabled_pins\": [\n{}\n  ],\n  \
+         \"overhead_10k\": {{\"iters\": 30000, \"disabled_us\": {disabled_us}, \
+         \"enabled_us\": {enabled_us}, \"overhead_fraction\": {overhead:.4}}},\n  \
+         \"exports\": {{\"chrome_bytes\": {}, \"chrome_valid\": {chrome_valid}, \
+         \"prometheus_bytes\": {}, \"events\": {events}, \"dropped_events\": {}}}\n}}\n",
+        pin_rows.join(",\n"),
+        chrome.len(),
+        prom.len(),
+        rec.dropped_events()
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[claims] wrote {path}"),
+        Err(e) => eprintln!("[claims] could not write {path}: {e}"),
+    }
+}
+
 fn max_gap(result: &SweepResult, a: &str, b: &str) -> f64 {
     result
         .points
@@ -839,6 +1064,11 @@ fn main() {
             }
         }
         emit_reliability_baseline("BENCH_reliability.json", max_nodes);
+        return;
+    }
+    if std::env::args().any(|a| a == "--obs-bench-only") {
+        // Observability quick-look: BENCH_obs.json alone.
+        emit_obs_baseline("BENCH_obs.json");
         return;
     }
     if std::env::args().any(|a| a == "--parallel-bench-only") {

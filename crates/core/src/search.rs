@@ -271,7 +271,13 @@ pub fn solve_gopt_model<S: WakeSchedule, M: ConflictModel>(
     config: &SearchConfig,
     state: &mut BroadcastState,
 ) -> SearchOutcome {
-    Searcher::new(topo, wake, model, config, BranchRule::GreedyClasses, state).run(source)
+    let started = wsn_obs::enabled().then(std::time::Instant::now);
+    let out =
+        Searcher::new(topo, wake, model, config, BranchRule::GreedyClasses, state).run(source);
+    if let Some(t0) = started {
+        record_search_obs("searcher.gopt_solves", &out, t0.elapsed());
+    }
+    out
 }
 
 /// OPT: minimum-latency schedule over every admissible color (Eq. 5/6).
@@ -314,7 +320,44 @@ pub fn solve_opt_model<S: WakeSchedule, M: ConflictModel>(
     config: &SearchConfig,
     state: &mut BroadcastState,
 ) -> SearchOutcome {
-    Searcher::new(topo, wake, model, config, BranchRule::MaximalSets, state).run(source)
+    let started = wsn_obs::enabled().then(std::time::Instant::now);
+    let out = Searcher::new(topo, wake, model, config, BranchRule::MaximalSets, state).run(source);
+    if let Some(t0) = started {
+        record_search_obs("searcher.opt_solves", &out, t0.elapsed());
+    }
+    out
+}
+
+/// Promote a finished search's [`SearchStats`] to `wsn-obs` metrics: one
+/// bulk export per solve, never per state, so the enabled overhead is a
+/// dozen atomic RMWs amortized over the whole search. Only reached when
+/// recording is enabled (the disabled path is the single relaxed load in
+/// [`wsn_obs::enabled`] plus a skipped `Instant::now`).
+#[cold]
+fn record_search_obs(solves: &'static str, out: &SearchOutcome, wall: std::time::Duration) {
+    let s = &out.stats;
+    wsn_obs::counter_add(solves, 1);
+    wsn_obs::counter_add("searcher.states", s.states as u64);
+    wsn_obs::counter_add("searcher.memo_hits", s.memo_hits as u64);
+    wsn_obs::counter_add("searcher.pruned", s.pruned as u64);
+    wsn_obs::counter_add("searcher.dominance_prunes", s.dominance_prunes as u64);
+    wsn_obs::counter_add("searcher.branch_reorders", s.branch_reorders as u64);
+    wsn_obs::counter_add(
+        "searcher.truncated_enumerations",
+        s.truncated_enumerations as u64,
+    );
+    wsn_obs::counter_add("searcher.conflict_rows_built", s.conflict_rows_built as u64);
+    wsn_obs::counter_add(
+        "searcher.conflict_rows_reused",
+        s.conflict_rows_reused as u64,
+    );
+    if s.state_cap_hit {
+        wsn_obs::counter_add("searcher.state_cap_hits", 1);
+    }
+    wsn_obs::gauge_set("searcher.memo_entries", s.memo_entries as i64);
+    wsn_obs::gauge_set("searcher.phase_classes", s.phase_classes as i64);
+    wsn_obs::observe_us("searcher.wall_us", wall.as_micros() as u64);
+    wsn_obs::observe_us("searcher.latency_slots", out.latency);
 }
 
 /// Memo entry: either the exact remaining delay (with the chosen sender

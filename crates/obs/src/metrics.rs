@@ -1,0 +1,287 @@
+//! Atomic counters, gauges, and log-linear histograms.
+//!
+//! All metric state is lock-free on the record path: a handle is an
+//! `Arc<AtomicU64>` (counters/gauges) or an `Arc<Histogram>` whose buckets
+//! are plain `AtomicU64`s. Handle lookup by name takes a short-lived
+//! read lock on a `BTreeMap`; hot paths should cache the handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(pub(crate) Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge storing an `i64` (bit-cast into the atomic).
+#[derive(Clone)]
+pub struct Gauge(pub(crate) Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed) as i64
+    }
+}
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave, giving a
+/// worst-case relative quantile error of 1/16 ≈ 6.25%.
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS; // 16
+
+/// Values `< 2 * SUBS` (= 32) get exact unit buckets; above that, each octave
+/// `[2^e, 2^(e+1))` for `e in 5..=63` splits into 16 sub-buckets.
+const EXACT: usize = 2 * SUBS; // 32
+const NBUCKETS: usize = EXACT + (64 - SUB_BITS as usize - 1) * SUBS; // 32 + 59*16 = 976
+
+/// Log-linear-bucket histogram of `u64` samples (typically microseconds).
+///
+/// Recording is one atomic increment plus three (`sum`, `min`, `max`)
+/// relaxed RMW ops; no allocation, no locks.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NBUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT as u64 {
+        v as usize
+    } else {
+        // exp >= 5 because v >= 32.
+        let exp = 63 - v.leading_zeros();
+        let sub = ((v >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        EXACT + (exp as usize - SUB_BITS as usize - 1) * SUBS + sub
+    }
+}
+
+/// Lower bound (representative value) of bucket `i` — inverse of
+/// [`bucket_index`] at bucket granularity.
+fn bucket_floor(i: usize) -> u64 {
+    if i < EXACT {
+        i as u64
+    } else {
+        let rel = i - EXACT;
+        let exp = (rel / SUBS) as u32 + SUB_BITS + 1;
+        let sub = (rel % SUBS) as u64;
+        (1u64 << exp) + (sub << (exp - SUB_BITS))
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        // Box<[AtomicU64; N]> without unstable array-of-atomics init helpers.
+        let v: Vec<AtomicU64> = (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NBUCKETS]> =
+            v.into_boxed_slice().try_into().expect("bucket count");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile extraction.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile `q in [0, 1]` via cumulative bucket walk; returns the lower
+    /// bound of the bucket containing the `ceil(q * count)`-th sample,
+    /// clamped to the observed `[min, max]` range.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(upper_bound_exclusive, cumulative_count)` pairs
+    /// — the shape Prometheus `le` buckets want. The final pair is implicit
+    /// `(+Inf, count)` and is not included.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let upper = if i + 1 < NBUCKETS {
+                bucket_floor(i + 1)
+            } else {
+                u64::MAX
+            };
+            out.push((upper, cum));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_32() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn floor_is_left_inverse_of_index() {
+        for &v in &[
+            32u64,
+            33,
+            47,
+            48,
+            63,
+            64,
+            100,
+            1_000,
+            65_535,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            let floor = bucket_floor(i);
+            assert!(floor <= v, "floor({i}) = {floor} > {v}");
+            assert_eq!(bucket_index(floor), i, "floor not in same bucket for {v}");
+            // Relative bucket width bound: floor >= v * 15/16 - 1.
+            assert!(floor as f64 >= v as f64 * (1.0 - 1.0 / SUBS as f64) - 1.0);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut prev = 0u64;
+        for i in 1..NBUCKETS {
+            let f = bucket_floor(i);
+            assert!(f > prev, "bucket {i}: {f} <= {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 1000);
+        let p50 = s.p50();
+        let p99 = s.p99();
+        // 6.25% bucket error plus floor-representative bias.
+        assert!((440..=500).contains(&p50), "p50 = {p50}");
+        assert!((920..=990).contains(&p99), "p99 = {p99}");
+        assert!(s.mean() > 499.0 && s.mean() < 502.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -134,6 +134,17 @@ pub struct RunResult {
     /// run's schedule, reported first-class so reliability shows up in
     /// every sweep. `1.0` exactly for loss-proof schedules.
     pub mean_coverage: f64,
+    /// The anytime tier's improving-bound trace (elapsed ms + move count
+    /// per accepted incumbent); `None` for every other algorithm. This is
+    /// what [`crate::traces_to_csv`] flattens so time-to-quality curves
+    /// are plottable without re-running.
+    pub trace: Option<Vec<wsn_anytime::TracePoint>>,
+    /// Warm-start cache hits this run charged to the caller's
+    /// [`AnytimeExec`] (0 or 1 today; 0 for non-anytime algorithms).
+    pub cache_hits: u64,
+    /// Warm-start cache misses this run charged to the caller's
+    /// [`AnytimeExec`].
+    pub cache_misses: u64,
 }
 
 /// Per-delivery loss probability of the reference coverage metric.
@@ -337,6 +348,9 @@ fn run_with<S: WakeSchedule + Sync>(
     let start = search.start_from;
     let mut exact = None;
     let mut search_stats = None;
+    let mut trace = None;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
     let schedule = match algorithm {
         Algorithm::Layered => {
             schedule_layered_with(topo, source, wake, start, LayeredMode::FixedColors, state)
@@ -407,8 +421,12 @@ fn run_with<S: WakeSchedule + Sync>(
                 ..wsn_anytime::AnytimeConfig::default()
             };
             let port = wsn_anytime::Portfolio::with_config(cfg, exec.threads.max(1));
+            let (h0, m0) = (exec.cache.hits(), exec.cache.misses());
             let out = port.solve_cached(topo, source, wake, model, &mut exec.cache);
+            cache_hits = exec.cache.hits() - h0;
+            cache_misses = exec.cache.misses() - m0;
             exact = Some(out.proved_optimal);
+            trace = Some(out.trace);
             out.schedule
         }
     };
@@ -455,6 +473,9 @@ fn run_with<S: WakeSchedule + Sync>(
         opt_analysis,
         baseline_bound,
         mean_coverage,
+        trace,
+        cache_hits,
+        cache_misses,
     }
 }
 

@@ -8,21 +8,28 @@ use crate::{Regime, SweepResult};
 use std::fmt::Write as _;
 
 /// Renders a sweep as CSV. Columns:
-/// `regime,nodes,density,series,mean,std,min,max,count,coverage` — the
-/// trailing column is the mean lossy-replay coverage of the series
-/// (first-class reliability metric; empty for the analytic-bound rows,
-/// which have no schedule to replay).
+/// `regime,nodes,density,series,mean,std,min,max,count,coverage,states,cache_hits,cache_misses`
+/// — `coverage` is the mean lossy-replay coverage of the series
+/// (first-class reliability metric), `states` the mean search states per
+/// run, and the cache columns the series' warm-start traffic totals. The
+/// trailing columns are empty where they do not apply (analytic-bound
+/// rows have no schedule to replay; non-search algorithms explore no
+/// states).
 pub fn sweep_to_csv(result: &SweepResult) -> String {
-    let mut out = String::from("regime,nodes,density,series,mean,std,min,max,count,coverage\n");
-    let regime = match result.regime {
-        Regime::Sync => "sync".to_string(),
-        Regime::Duty { rate } => format!("duty-r{rate}"),
-    };
+    let mut out = String::from(
+        "regime,nodes,density,series,mean,std,min,max,count,coverage,states,cache_hits,cache_misses\n",
+    );
+    let regime = regime_label(result.regime);
     for p in &result.points {
         for a in &p.per_algorithm {
+            let states = if a.search_states.count() == 0 {
+                String::new()
+            } else {
+                format!("{:.1}", a.search_states.mean())
+            };
             let _ = writeln!(
                 out,
-                "{},{},{:.4},{},{:.3},{:.3},{},{},{},{:.4}",
+                "{},{},{:.4},{},{:.3},{:.3},{},{},{},{:.4},{},{},{}",
                 regime,
                 p.nodes,
                 p.density,
@@ -32,7 +39,10 @@ pub fn sweep_to_csv(result: &SweepResult) -> String {
                 a.latency.min(),
                 a.latency.max(),
                 a.latency.count(),
-                a.coverage.mean()
+                a.coverage.mean(),
+                states,
+                a.cache_hits,
+                a.cache_misses
             );
         }
         for (name, series) in [
@@ -41,7 +51,7 @@ pub fn sweep_to_csv(result: &SweepResult) -> String {
         ] {
             let _ = writeln!(
                 out,
-                "{},{},{:.4},{},{:.3},{:.3},{},{},{},",
+                "{},{},{:.4},{},{:.3},{:.3},{},{},{},,,,",
                 regime,
                 p.nodes,
                 p.density,
@@ -53,6 +63,32 @@ pub fn sweep_to_csv(result: &SweepResult) -> String {
                 series.count()
             );
         }
+    }
+    out
+}
+
+fn regime_label(regime: Regime) -> String {
+    match regime {
+        Regime::Sync => "sync".to_string(),
+        Regime::Duty { rate } => format!("duty-r{rate}"),
+    }
+}
+
+/// Renders the improving-bound traces of a sweep's anytime runs as CSV:
+/// `regime,nodes,instance,series,elapsed_ms,moves,latency`, one row per
+/// accepted incumbent, grouped per `(nodes, instance, series)` run. The
+/// `moves` column is the bit-reproducible x-axis (deterministic under
+/// iteration budgets); `elapsed_ms` is the wall-clock x-axis. Empty when
+/// the sweep ran no anytime algorithm.
+pub fn traces_to_csv(result: &SweepResult) -> String {
+    let mut out = String::from("regime,nodes,instance,series,elapsed_ms,moves,latency\n");
+    let regime = regime_label(result.regime);
+    for t in &result.traces {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            regime, t.nodes, t.instance, t.series, t.elapsed_ms, t.moves, t.latency
+        );
     }
     out
 }
@@ -109,18 +145,91 @@ mod tests {
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(
             lines[0],
-            "regime,nodes,density,series,mean,std,min,max,count,coverage"
+            "regime,nodes,density,series,mean,std,min,max,count,coverage,states,cache_hits,cache_misses"
         );
         // 1 point × (2 algorithms + 2 analytic series) = 4 data rows.
         assert_eq!(lines.len(), 1 + 4);
         assert!(lines[1].starts_with("sync,50,0.0200,26-approx,"));
         assert!(csv.contains("OPT-analysis"));
         // Algorithm rows carry a coverage value, analytic rows leave the
-        // column empty.
-        assert_eq!(lines[1].split(',').count(), 10);
+        // trailing columns empty.
+        assert_eq!(lines[1].split(',').count(), 13);
         let cov: f64 = lines[1].split(',').nth(9).unwrap().parse().unwrap();
         assert!((0.0..=1.0).contains(&cov));
-        assert!(lines[3].ends_with(','));
+        assert!(lines[3].ends_with(",,,,"));
+        // Neither sample algorithm runs a search or touches the cache.
+        assert_eq!(lines[1].split(',').nth(10), Some(""));
+        assert_eq!(lines[1].split(',').nth(11), Some("0"));
+    }
+
+    #[test]
+    fn search_and_cache_columns_populate_for_search_algorithms() {
+        let r = Sweep {
+            node_counts: vec![50],
+            instances: 2,
+            algorithms: vec![Algorithm::GOpt, Algorithm::Anytime],
+            regime: Regime::Sync,
+            models: vec![crate::PhyModelSpec::protocol()],
+            master_seed: 7,
+            search: SearchConfig::default(),
+            search_overrides: Vec::new(),
+            threads: 1,
+            search_threads: 1,
+        }
+        .run();
+        let csv = sweep_to_csv(&r);
+        let row = |name: &str| {
+            csv.lines()
+                .find(|l| l.split(',').nth(3) == Some(name))
+                .unwrap()
+                .split(',')
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        // G-OPT explores states but never touches the warm-start cache.
+        let gopt = row("G-OPT");
+        assert!(gopt[10].parse::<f64>().unwrap() > 0.0);
+        assert_eq!(gopt[11], "0");
+        // The anytime tier misses the cache once per fresh instance.
+        let any = row("anytime");
+        assert_eq!(any[10], "");
+        assert_eq!(any[12], "2");
+    }
+
+    #[test]
+    fn trace_csv_flattens_anytime_runs() {
+        let r = Sweep {
+            node_counts: vec![50],
+            instances: 2,
+            algorithms: vec![Algorithm::Layered, Algorithm::Anytime],
+            regime: Regime::Sync,
+            models: vec![crate::PhyModelSpec::protocol()],
+            master_seed: 7,
+            search: SearchConfig::default(),
+            search_overrides: Vec::new(),
+            threads: 1,
+            search_threads: 1,
+        }
+        .run();
+        let csv = traces_to_csv(&r);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(
+            lines[0],
+            "regime,nodes,instance,series,elapsed_ms,moves,latency"
+        );
+        // Every anytime run contributes at least its greedy seed point;
+        // the layered baseline contributes nothing.
+        assert!(lines.len() > 2);
+        assert!(lines[1..]
+            .iter()
+            .all(|l| l.split(',').nth(3) == Some("anytime")));
+        // Latency is non-increasing and moves non-decreasing within a run.
+        for pair in r.traces.windows(2) {
+            if pair[0].nodes == pair[1].nodes && pair[0].instance == pair[1].instance {
+                assert!(pair[1].latency <= pair[0].latency);
+                assert!(pair[1].moves >= pair[0].moves);
+            }
+        }
     }
 
     #[test]

@@ -149,6 +149,13 @@ impl LinkEstimator {
                 }
             }
         }
+        if wsn_obs::enabled() {
+            // Drift in per-mille so the integer gauge/event keeps three
+            // significant digits of a [0, 1] quantity.
+            let permille = (worst * 1000.0).round() as i64;
+            wsn_obs::gauge_set("estimator.drift_permille", permille);
+            wsn_obs::event_value("estimator.drift", permille);
+        }
         worst
     }
 

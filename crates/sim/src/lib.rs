@@ -35,6 +35,7 @@ pub use algorithm::{
     run_instance, run_instance_built, run_instance_exec, run_instance_model, run_instance_with,
     Algorithm, AnytimeExec, Regime, RunResult, COVERAGE_LOSS, COVERAGE_TRIALS,
 };
+pub use csv::{sweep_to_csv, sweep_to_table, traces_to_csv};
 pub use energy::{energy_of_schedule, EnergyReport, RadioEnergyModel};
 pub use estimator::{simulate_acks, LinkEstimator};
 pub use fault::{replay_faulty, Fault, FaultParams, FaultScript, FaultyOutcome};
@@ -42,7 +43,7 @@ pub use lossy::{
     mean_coverage, mean_coverage_quality, replay_lossy, replay_lossy_quality, LossyOutcome,
 };
 pub use stats::Summary;
-pub use sweep::{AlgorithmSummary, Sweep, SweepPointResult, SweepResult};
+pub use sweep::{AlgorithmSummary, Sweep, SweepPointResult, SweepResult, TraceRow};
 pub use wsn_phy::PhyModelSpec;
 
 /// Derives a stream seed from a master seed and context labels

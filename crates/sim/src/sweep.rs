@@ -108,6 +108,9 @@ impl Sweep {
         let mut latency: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
         let mut transmissions: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
         let mut coverage: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
+        let mut search_states: HashMap<(usize, Algorithm, usize), Summary> = HashMap::new();
+        let mut cache_traffic: HashMap<(usize, Algorithm, usize), (u64, u64)> = HashMap::new();
+        let mut traces: Vec<TraceRow> = Vec::new();
         let mut opt_analysis: HashMap<usize, Summary> = HashMap::new();
         let mut baseline_bound: HashMap<usize, Summary> = HashMap::new();
         let mut eccentricity: HashMap<usize, Summary> = HashMap::new();
@@ -184,6 +187,28 @@ impl Sweep {
                     .entry((rec.nodes, *alg, rec.model_idx))
                     .or_default()
                     .push(r.mean_coverage);
+                if let Some(stats) = &r.search_stats {
+                    search_states
+                        .entry((rec.nodes, *alg, rec.model_idx))
+                        .or_default()
+                        .push(stats.states as f64);
+                }
+                let traffic = cache_traffic
+                    .entry((rec.nodes, *alg, rec.model_idx))
+                    .or_default();
+                traffic.0 += r.cache_hits;
+                traffic.1 += r.cache_misses;
+                if let Some(trace) = &r.trace {
+                    let series = self.result_label(*alg, rec.model_idx);
+                    traces.extend(trace.iter().map(|t| TraceRow {
+                        nodes: rec.nodes,
+                        instance: rec.instance,
+                        series: series.clone(),
+                        elapsed_ms: t.elapsed_ms,
+                        moves: t.moves,
+                        latency: t.latency,
+                    }));
+                }
                 if r.exact == Some(false) {
                     inexact += 1;
                 }
@@ -215,11 +240,18 @@ impl Sweep {
                 .algorithms
                 .iter()
                 .flat_map(|&alg| (0..self.models.len()).map(move |mi| (alg, mi)))
-                .map(|(alg, mi)| AlgorithmSummary {
-                    name: self.result_label(alg, mi),
-                    latency: latency.remove(&(nodes, alg, mi)).unwrap_or_default(),
-                    transmissions: transmissions.remove(&(nodes, alg, mi)).unwrap_or_default(),
-                    coverage: coverage.remove(&(nodes, alg, mi)).unwrap_or_default(),
+                .map(|(alg, mi)| {
+                    let (cache_hits, cache_misses) =
+                        cache_traffic.remove(&(nodes, alg, mi)).unwrap_or_default();
+                    AlgorithmSummary {
+                        name: self.result_label(alg, mi),
+                        latency: latency.remove(&(nodes, alg, mi)).unwrap_or_default(),
+                        transmissions: transmissions.remove(&(nodes, alg, mi)).unwrap_or_default(),
+                        coverage: coverage.remove(&(nodes, alg, mi)).unwrap_or_default(),
+                        search_states: search_states.remove(&(nodes, alg, mi)).unwrap_or_default(),
+                        cache_hits,
+                        cache_misses,
+                    }
                 })
                 .collect();
             points.push(SweepPointResult {
@@ -235,6 +267,7 @@ impl Sweep {
             regime: self.regime,
             points,
             inexact_runs: inexact,
+            traces,
         }
     }
 
@@ -251,6 +284,7 @@ impl Sweep {
         substrate: &mut BroadcastState,
         exec: &mut AnytimeExec,
     ) -> InstanceRecord {
+        let _job_span = wsn_obs::span_value("sweep.job", nodes as i64);
         let seed = derive_seed(self.master_seed, nodes as u64, instance as u64);
         let deployment = SyntheticDeployment::paper(nodes);
         let (topo, source) = deployment.sample(seed);
@@ -281,6 +315,7 @@ impl Sweep {
             .collect();
         InstanceRecord {
             nodes,
+            instance,
             model_idx,
             runs,
         }
@@ -294,8 +329,28 @@ const WAKE_SEED_TAG: u64 = 0x57a6_6e8d;
 /// Results of all algorithms on one `(instance, model)` job.
 struct InstanceRecord {
     nodes: usize,
+    instance: usize,
     model_idx: usize,
     runs: Vec<(Algorithm, crate::algorithm::RunResult)>,
+}
+
+/// One improving-bound trace point from one anytime run, flattened for
+/// CSV export ([`crate::traces_to_csv`]): time-to-quality curves are
+/// plottable per `(nodes, instance, series)` group without re-running.
+#[derive(Clone, Debug)]
+pub struct TraceRow {
+    /// Node count of the sweep point.
+    pub nodes: usize,
+    /// Instance index within the sweep point.
+    pub instance: usize,
+    /// Result label of the run ([`AlgorithmSummary::name`] convention).
+    pub series: String,
+    /// Milliseconds since that run's search started (monotonic clock).
+    pub elapsed_ms: u64,
+    /// Deterministic work units spent when the incumbent was accepted.
+    pub moves: u64,
+    /// The incumbent latency.
+    pub latency: wsn_dutycycle::Slot,
 }
 
 /// Per-algorithm aggregates at one sweep point.
@@ -310,6 +365,14 @@ pub struct AlgorithmSummary {
     /// Mean lossy-replay coverage across instances — the first-class
     /// reliability metric ([`crate::RunResult::mean_coverage`]).
     pub coverage: Summary,
+    /// Search states explored per run (empty for non-search algorithms —
+    /// the per-run [`mlbs_core::SearchStats`] promoted to the aggregate).
+    pub search_states: Summary,
+    /// Warm-start cache hits across this series' runs (anytime tier only;
+    /// 0 elsewhere).
+    pub cache_hits: u64,
+    /// Warm-start cache misses across this series' runs.
+    pub cache_misses: u64,
 }
 
 /// Aggregates for one node count.
@@ -338,6 +401,10 @@ pub struct SweepResult {
     pub points: Vec<SweepPointResult>,
     /// Search runs that hit a cap (0 in exact reproductions).
     pub inexact_runs: usize,
+    /// Flattened improving-bound traces of every anytime run, in job
+    /// order (deterministic across thread counts up to the wall-clock
+    /// `elapsed_ms` column; the `moves` column is bit-reproducible).
+    pub traces: Vec<TraceRow>,
 }
 
 impl SweepResult {

@@ -51,6 +51,7 @@
 //! | [`distributed`] | `wsn-distributed` | localized scheduling, distributed E-model (§VII) |
 //! | [`sim`] | `wsn-sim` | experiment sweeps, statistics, CSV |
 //! | [`bench`] | `wsn-bench` | figure/table regeneration harness |
+//! | [`obs`] | `wsn-obs` | counters/histograms/spans, Chrome-trace + Prometheus export |
 //!
 //! ## The broadcast-state substrate
 //!
@@ -173,6 +174,7 @@ pub use wsn_distributed as distributed;
 pub use wsn_dutycycle as dutycycle;
 pub use wsn_geom as geom;
 pub use wsn_interference as interference;
+pub use wsn_obs as obs;
 pub use wsn_phy as phy;
 pub use wsn_sim as sim;
 pub use wsn_topology as topology;
@@ -204,6 +206,7 @@ pub mod prelude {
         AlwaysAwake, ExplicitSchedule, Slot, WakePatternTable, WakeSchedule, WindowedRandom,
     };
     pub use wsn_geom::{Point, Quadrant, Rect};
+    pub use wsn_obs::Recorder;
     pub use wsn_phy::{
         ConflictModel, MultiChannel, PhyModel, PhyModelSpec, ProtocolModel, SinrModel, SinrParams,
     };

@@ -37,17 +37,27 @@ use wsn_topology::{metrics, NodeId, Topology};
 use crate::cache::ScheduleCache;
 use crate::driver::{run_chain, AnytimeConfig, AnytimeOutcome, Budget, ChainCtx};
 
-/// A churn event batch: the nodes that died since the schedule was built.
+/// A churn event batch: the nodes that died since the schedule was built,
+/// plus any links whose estimated *quality* drifted.
 ///
-/// Link-quality drift is not part of the delta — quality changes never
-/// invalidate a schedule's *conflict* structure, only its reliability
-/// plan, and are handled by re-planning repeats
-/// ([`plan_repeats`](crate::plan_repeats)) when the online estimator
-/// reports drift.
+/// Quality changes never invalidate a schedule's *conflict* structure —
+/// only its reliability plan — so [`reschedule`] ignores
+/// [`degraded_links`](ChurnDelta::degraded_links) when computing the dead
+/// mask: a quality-only delta warm-starts from *every* surviving placement
+/// (the whole old schedule), and the caller re-plans repeats against the
+/// new quality afterwards ([`plan_repeats`](crate::plan_repeats), or
+/// `wsn_sim`'s drift-replan driver which does both in one step). The field
+/// exists so a drift-triggered repair can carry the estimator's findings
+/// through the same delta type deaths already use, instead of forcing a
+/// full re-plan.
 #[derive(Clone, Debug, Default)]
 pub struct ChurnDelta {
     /// Nodes that died (duplicates and already-dead entries are fine).
     pub dead: Vec<NodeId>,
+    /// Links whose delivery estimate drifted: `(u, v, new delivery
+    /// probability)`. Advisory for conflict repair (the schedule's
+    /// structure stays valid); consumed by the reliability re-plan.
+    pub degraded_links: Vec<(NodeId, NodeId, f64)>,
 }
 
 impl ChurnDelta {
@@ -55,7 +65,31 @@ impl ChurnDelta {
     pub fn deaths(dead: impl IntoIterator<Item = NodeId>) -> ChurnDelta {
         ChurnDelta {
             dead: dead.into_iter().collect(),
+            degraded_links: Vec::new(),
         }
+    }
+
+    /// A quality-only delta: no deaths, just links whose delivery estimate
+    /// moved. [`reschedule`] under such a delta masks nothing and
+    /// warm-starts from the complete old schedule — repair cost is one
+    /// legalizer replay plus whatever budget the config grants.
+    pub fn degradations(links: impl IntoIterator<Item = (NodeId, NodeId, f64)>) -> ChurnDelta {
+        ChurnDelta {
+            dead: Vec::new(),
+            degraded_links: links.into_iter().collect(),
+        }
+    }
+
+    /// `true` when the delta carries no deaths — only link-quality drift —
+    /// so conflict structure is untouched and repair can reuse every
+    /// surviving placement.
+    pub fn is_quality_only(&self) -> bool {
+        self.dead.is_empty() && !self.degraded_links.is_empty()
+    }
+
+    /// `true` when the delta carries nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.dead.is_empty() && self.degraded_links.is_empty()
     }
 }
 
@@ -265,6 +299,9 @@ pub fn reschedule<S: WakeSchedule, M: ConflictModel>(
             1,
         );
         wsn_obs::counter_add("repair.reschedules", 1);
+        if delta.is_quality_only() {
+            wsn_obs::counter_add("repair.quality_only", 1);
+        }
         wsn_obs::counter_add("repair.reused_placements", reused as u64);
         wsn_obs::counter_add("repair.stranded_nodes", stranded as u64);
         wsn_obs::counter_add("repair.uncovered_nodes", uncovered.len() as u64);
@@ -417,6 +454,50 @@ mod tests {
             .schedule
             .verify_covering_with_model(&topo, &AlwaysAwake, &ProtocolModel, Some(&rep.mask))
             .unwrap();
+    }
+
+    #[test]
+    fn quality_only_delta_reuses_every_surviving_placement() {
+        let (topo, src) = deploy::SyntheticDeployment::paper(150).sample(6);
+        let base = solve_anytime(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg(5_000));
+        let u = base.schedule.entries[0].senders[0];
+        let v = topo.neighbors(u)[0];
+        let delta = ChurnDelta::degradations([(u, v, 0.4)]);
+        assert!(delta.is_quality_only());
+        assert!(!delta.is_empty());
+        let rep = reschedule(
+            &topo,
+            src,
+            &AlwaysAwake,
+            &ProtocolModel,
+            &base.schedule,
+            &delta,
+            &cfg(0),
+        );
+        // Nothing died: the mask is empty, nobody is stranded, and every
+        // old placement seeds the warm chain.
+        assert!(rep.mask.is_empty());
+        assert!(rep.uncovered.is_empty());
+        assert_eq!(rep.stranded, 0);
+        let old_placements: usize = base.schedule.entries.iter().map(|e| e.senders.len()).sum();
+        assert_eq!(rep.reused, old_placements);
+        // With an Iterations(0) budget the warm chain replays the old
+        // schedule; it must not end worse than the incumbent it started
+        // from.
+        assert!(rep.outcome.latency <= base.latency);
+        rep.outcome
+            .schedule
+            .verify_covering_with_model(&topo, &AlwaysAwake, &ProtocolModel, None)
+            .unwrap();
+    }
+
+    #[test]
+    fn death_constructor_is_unchanged_by_the_quality_field() {
+        let delta = ChurnDelta::deaths([NodeId(3), NodeId(5)]);
+        assert_eq!(delta.dead, vec![NodeId(3), NodeId(5)]);
+        assert!(delta.degraded_links.is_empty());
+        assert!(!delta.is_quality_only());
+        assert!(ChurnDelta::default().is_empty());
     }
 
     #[test]

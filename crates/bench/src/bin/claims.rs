@@ -1006,6 +1006,241 @@ fn emit_obs_baseline(path: &str) {
     }
 }
 
+/// Emits `BENCH_serve.json`: the serving daemon's robustness envelope —
+/// the incremental drift-repair wall-time pin (repair must cost < 25% of
+/// a cold re-solve at 1k/10k nodes), sustained request throughput on a
+/// warm shard, shed rate under a deliberate storm, and the full chaos
+/// campaign (fault script + injected panics) with its p99 reschedule
+/// latency. `--serve-max-nodes N` caps the repair-pin axis (CI uses 1k).
+fn emit_serve_baseline(path: &str, max_nodes: usize) {
+    use wsn_anytime::{solve_anytime_cached, ScheduleCache};
+    use wsn_serve::{run_campaign, ChaosParams, Daemon, DaemonConfig, Json, Request};
+    use wsn_sim::{replan_on_drift, simulate_acks, LinkEstimator};
+    use wsn_topology::LinkQuality;
+
+    // --- Drift repair vs cold re-solve at scale. The estimator loop ---
+    // routes drift through `reschedule_cached`; its cost is a warm
+    // legalizer replay. The alternative the daemon would otherwise pay is
+    // a cold re-solve at the serving tier's wall budget (these instances
+    // never prove optimality — see BENCH_anytime — so a cold re-solve
+    // burns its whole budget before answering).
+    let mut repair_rows = Vec::new();
+    for (n, budget_ms) in [(1_000usize, 100u64), (10_000, 500)] {
+        if n > max_nodes {
+            continue;
+        }
+        let (topo, src) = SyntheticDeployment::scaled(n).sample(7);
+        let cfg = AnytimeConfig {
+            budget: Budget::WallClockMs(budget_ms),
+            ..AnytimeConfig::default()
+        };
+        let mut cache = ScheduleCache::new();
+        let t0 = std::time::Instant::now();
+        let base = solve_anytime_cached(&topo, src, &AlwaysAwake, &ProtocolModel, &cfg, &mut cache);
+        let cold_us = t0.elapsed().as_micros().max(1);
+
+        let assumed = LinkQuality::uniform(&topo, 0.99);
+        let truth = LinkQuality::uniform(&topo, 0.80);
+        let mut est = LinkEstimator::new(&topo, 64);
+        simulate_acks(&topo, &base.schedule, &truth, &mut est, 8, 11);
+        let repair_cfg = AnytimeConfig {
+            budget: Budget::Iterations(0),
+            ..AnytimeConfig::default()
+        };
+        let t1 = std::time::Instant::now();
+        let replan = replan_on_drift(
+            &mut cache,
+            &topo,
+            src,
+            &AlwaysAwake,
+            &ProtocolModel,
+            &base.schedule,
+            &assumed,
+            &est,
+            0.0,
+            0.05,
+            4,
+            &repair_cfg,
+        );
+        let repair_us = t1.elapsed().as_micros().max(1);
+        let fraction = repair_us as f64 / cold_us as f64;
+        check(
+            &format!("drift crosses the trigger and replans (n={n})"),
+            replan.replanned && replan.degraded_links > 0,
+            format!(
+                "drift {:.3}, {} degraded links",
+                replan.drift, replan.degraded_links
+            ),
+        );
+        check(
+            &format!("drift repair wall < 25% of cold re-solve (n={n})"),
+            fraction < 0.25,
+            format!(
+                "repair {repair_us}us vs cold {cold_us}us ({:.1}%)",
+                fraction * 100.0
+            ),
+        );
+        replan
+            .schedule
+            .verify(&topo, &AlwaysAwake)
+            .expect("drift repair must serve a valid schedule");
+        repair_rows.push(format!(
+            "    {{\"nodes\": {n}, \"cold_budget_ms\": {budget_ms}, \"cold_us\": {cold_us}, \
+             \"repair_us\": {repair_us}, \"fraction\": {fraction:.4}, \
+             \"degraded_links\": {}}}",
+            replan.degraded_links
+        ));
+    }
+
+    // --- The daemon itself: throughput, storm shedding, chaos. ---
+    Daemon::install_recorder();
+    let daemon = Daemon::new(DaemonConfig { queue_cap: 8 });
+    let ok = |resp: &Json| resp.get("ok").and_then(Json::as_bool) == Some(true);
+
+    let created = daemon.handle(Request::Create {
+        shard: "bench".into(),
+        nodes: 150,
+        seed: 7,
+        deployment: "paper".into(),
+        model: "protocol".into(),
+        channels: 1,
+        epsilon: 0.0,
+    });
+    assert!(ok(&created), "shard create failed: {created}");
+    let warm = daemon.handle(Request::Solve {
+        shard: "bench".into(),
+        deadline_ms: 250,
+    });
+    check(
+        "a generous deadline lands on the portfolio tier",
+        ok(&warm) && warm.get("tier").and_then(Json::as_str) == Some("portfolio"),
+        format!("{warm}"),
+    );
+
+    // Sustained serving: warm-tier deadlines against the resident shard.
+    let requests = 200u32;
+    let mut served = 0u32;
+    let t0 = std::time::Instant::now();
+    for i in 0..requests {
+        let resp = daemon.handle(Request::Solve {
+            shard: "bench".into(),
+            deadline_ms: 15 + u64::from(i % 3),
+        });
+        if ok(&resp) {
+            served += 1;
+        }
+    }
+    let sustain_us = t0.elapsed().as_micros().max(1);
+    let req_per_s = f64::from(served) / (sustain_us as f64 / 1e6);
+    check(
+        "sustained serving answers every request",
+        served == requests,
+        format!(
+            "{served}/{requests} in {}ms ({req_per_s:.0} req/s)",
+            sustain_us / 1000
+        ),
+    );
+
+    // Storm: more concurrent solves than the queue holds. The contract is
+    // served-or-shed — explicit `overloaded` with a backoff hint, never a
+    // hang, never an unverified schedule.
+    let storm = 64u32;
+    let receivers: Vec<_> = (0..storm)
+        .map(|_| {
+            daemon.submit(Request::Solve {
+                shard: "bench".into(),
+                deadline_ms: 60,
+            })
+        })
+        .collect();
+    let (mut storm_served, mut storm_shed, mut storm_other) = (0u32, 0u32, 0u32);
+    for rx in receivers {
+        match rx.recv() {
+            Ok(resp) if ok(&resp) => storm_served += 1,
+            Ok(resp)
+                if resp.get("kind").and_then(Json::as_str) == Some("overloaded")
+                    && resp.get("retry_after_ms").and_then(Json::as_u64).is_some() =>
+            {
+                storm_shed += 1;
+            }
+            _ => storm_other += 1,
+        }
+    }
+    let shed_rate = f64::from(storm_shed) / f64::from(storm);
+    check(
+        "storm responses are all served-or-shed",
+        storm_other == 0 && storm_served + storm_shed == storm,
+        format!("{storm_served} served, {storm_shed} shed, {storm_other} other"),
+    );
+    check(
+        "overload sheds explicitly with backoff hints",
+        storm_shed > 0,
+        format!("shed rate {:.0}%", shed_rate * 100.0),
+    );
+
+    // The full seeded chaos campaign on its own shard: deaths, flaps,
+    // bursts, storms, and injected worker panics.
+    let report = run_campaign(&daemon, &ChaosParams::default());
+    check(
+        "chaos campaign serves zero invalid schedules",
+        report.invalid == 0 && report.errors == 0 && report.missing_backoff == 0,
+        format!(
+            "{} served, {} shed, {} churns, {} observes",
+            report.served, report.shed, report.churns, report.observes
+        ),
+    );
+    check(
+        "every injected panic surfaced as a counted shard restart",
+        report.restarts_reported == report.panics_injected,
+        format!(
+            "{} injected, {} restarts reported",
+            report.panics_injected, report.restarts_reported
+        ),
+    );
+
+    let rec = wsn_obs::global().expect("daemon recorder installed");
+    let resched = rec.histogram_snapshot("serve.reschedule_us");
+    let (p50_re, p99_re, re_count) = resched
+        .as_ref()
+        .map_or((0, 0, 0), |h| (h.p50(), h.p99(), h.count));
+    check(
+        "reschedule latency histogram populated under chaos",
+        re_count > 0,
+        format!("p50 {p50_re}us, p99 {p99_re}us over {re_count} repairs"),
+    );
+    let restarts_total = rec.counter_value("serve.shard_restarts");
+    let shed_total = rec.counter_value("serve.shed");
+    let requests_total = rec.counter_value("serve.requests");
+    daemon.shutdown();
+    wsn_obs::uninstall();
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"repair_vs_cold\": [\n{}\n  ],\n  \
+         \"sustained\": {{\"requests\": {requests}, \"served\": {served}, \
+         \"wall_us\": {sustain_us}, \"req_per_s\": {req_per_s:.1}}},\n  \
+         \"storm\": {{\"size\": {storm}, \"served\": {storm_served}, \
+         \"shed\": {storm_shed}, \"other\": {storm_other}, \
+         \"shed_rate\": {shed_rate:.4}}},\n  \
+         \"chaos\": {{\"served\": {}, \"shed\": {}, \"invalid\": {}, \
+         \"errors\": {}, \"panics_injected\": {}, \"restarts_reported\": {}, \
+         \"reschedule_p50_us\": {p50_re}, \"reschedule_p99_us\": {p99_re}, \
+         \"reschedules\": {re_count}}},\n  \
+         \"daemon_counters\": {{\"requests_total\": {requests_total}, \
+         \"shed_total\": {shed_total}, \"shard_restarts_total\": {restarts_total}}}\n}}\n",
+        repair_rows.join(",\n"),
+        report.served,
+        report.shed,
+        report.invalid,
+        report.errors,
+        report.panics_injected,
+        report.restarts_reported,
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[claims] wrote {path}"),
+        Err(e) => eprintln!("[claims] could not write {path}: {e}"),
+    }
+}
+
 fn max_gap(result: &SweepResult, a: &str, b: &str) -> f64 {
     result
         .points
@@ -1069,6 +1304,22 @@ fn main() {
     if std::env::args().any(|a| a == "--obs-bench-only") {
         // Observability quick-look: BENCH_obs.json alone.
         emit_obs_baseline("BENCH_obs.json");
+        return;
+    }
+    if std::env::args().any(|a| a == "--serve-bench-only") {
+        // Serving-daemon quick-look: BENCH_serve.json alone.
+        // `--serve-max-nodes N` caps the repair-pin axis (CI uses 1k).
+        let mut max_nodes = 10_000usize;
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--serve-max-nodes" {
+                max_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--serve-max-nodes needs a number");
+            }
+        }
+        emit_serve_baseline("BENCH_serve.json", max_nodes);
         return;
     }
     if std::env::args().any(|a| a == "--parallel-bench-only") {

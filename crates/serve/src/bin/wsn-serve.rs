@@ -1,0 +1,125 @@
+//! The `wsn-serve` daemon binary.
+//!
+//! ```text
+//! wsn-serve [--stdin] [--tcp ADDR] [--queue-cap N]
+//! ```
+//!
+//! * `--stdin` (default): jsonl — one JSON request per stdin line, one
+//!   JSON response per stdout line.
+//! * `--tcp ADDR`: length-prefixed frames (4-byte big-endian length +
+//!   UTF-8 JSON) on every accepted connection; connections are served
+//!   concurrently against the same shard set.
+//!
+//! A `{"op":"shutdown"}` request drains the shards and exits cleanly.
+
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use wsn_serve::{proto, Daemon, DaemonConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut tcp: Option<String> = None;
+    let mut cfg = DaemonConfig::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--stdin" => tcp = None,
+            "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage("--tcp needs ADDR"))),
+            "--queue-cap" => {
+                cfg.queue_cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--queue-cap needs a number"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    Daemon::install_recorder();
+    let daemon = Arc::new(Daemon::new(cfg));
+    match tcp {
+        None => serve_stdin(&daemon),
+        Some(addr) => serve_tcp(&daemon, &addr),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: wsn-serve [--stdin] [--tcp ADDR] [--queue-cap N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn serve_stdin(daemon: &Daemon) {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, stop) = daemon.handle_line(&line);
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{resp}");
+        let _ = out.flush();
+        if stop {
+            break;
+        }
+    }
+    daemon.shutdown();
+}
+
+fn serve_tcp(daemon: &Arc<Daemon>, addr: &str) {
+    let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // The accept loop polls so a shutdown request on any connection can
+    // stop it.
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    println!("listening on {}", listener.local_addr().unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(daemon);
+                let stop = Arc::clone(&stop);
+                workers.push(std::thread::spawn(move || {
+                    let mut reader = stream.try_clone().expect("clone stream");
+                    let mut writer = stream;
+                    while let Ok(Some(payload)) = proto::read_frame(&mut reader) {
+                        let (resp, is_shutdown) = daemon.handle_line(&payload);
+                        if proto::write_frame(&mut writer, &resp.to_string()).is_err() {
+                            break;
+                        }
+                        if is_shutdown {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("accept error: {e}");
+                break;
+            }
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    daemon.shutdown();
+}

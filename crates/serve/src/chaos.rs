@@ -1,0 +1,285 @@
+//! Seeded chaos campaigns against a running [`Daemon`].
+//!
+//! The driver regenerates the shard's deployment locally (same
+//! deterministic sampler), derives a [`FaultScript`] from it, and
+//! replays the script as daemon traffic: node deaths become `churn`
+//! requests, link flaps and interference bursts become `observe`
+//! requests with a degraded truth quality (exercising the closed
+//! estimator loop), and on top it injects worker panics and request
+//! storms. Deadlines rotate through the whole degradation ladder,
+//! including ~0 ms.
+//!
+//! The campaign's assertion surface is the [`ChaosReport`]: every
+//! `ok:true` response must carry `verified:true` (the shard verified the
+//! schedule under its conflict model before replying — `invalid` counts
+//! violations), every refusal must be an *explicit* contract response
+//! (`overloaded` with a backoff hint, or `panic` with a restart), and
+//! the daemon itself must never die — injected panics surface as
+//! counted shard restarts instead.
+
+use wsn_sim::{Fault, FaultParams, FaultScript};
+use wsn_topology::deploy::SyntheticDeployment;
+use wsn_topology::{LinkQuality, LinkQualityParams, NodeId};
+
+use crate::daemon::Daemon;
+use crate::json::Json;
+use crate::proto::Request;
+
+/// Campaign shape (all deterministic in `seed`).
+#[derive(Clone, Debug)]
+pub struct ChaosParams {
+    /// Scripted rounds to replay.
+    pub rounds: u32,
+    /// Shard size (synthetic paper deployment).
+    pub nodes: usize,
+    /// Concurrent solve requests per storm.
+    pub storm_size: u32,
+    /// A storm fires every this many rounds.
+    pub storm_every: u32,
+    /// A worker panic is injected every this many rounds.
+    pub panic_every: u32,
+    /// Master seed (topology, fault script, ACK draws).
+    pub seed: u64,
+}
+
+impl Default for ChaosParams {
+    fn default() -> Self {
+        ChaosParams {
+            rounds: 12,
+            nodes: 120,
+            storm_size: 24,
+            storm_every: 4,
+            panic_every: 5,
+            seed: 0xC4A0,
+        }
+    }
+}
+
+/// What the campaign observed (see module docs for the contract).
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// `ok:true` responses carrying a schedule.
+    pub served: u64,
+    /// Explicit `overloaded` sheds (each had a `retry_after_ms` hint).
+    pub shed: u64,
+    /// Panics the campaign injected.
+    pub panics_injected: u64,
+    /// `panic` responses reporting a cold shard restart.
+    pub restarts_reported: u64,
+    /// `ok:true` responses *without* `verified:true` — must stay 0.
+    pub invalid: u64,
+    /// Refusals outside the contract (anything but overloaded/panic) —
+    /// must stay 0.
+    pub errors: u64,
+    /// Churn (death) requests sent.
+    pub churns: u64,
+    /// Observe (estimator-loop) requests sent.
+    pub observes: u64,
+    /// Overloaded responses missing their backoff hint — must stay 0.
+    pub missing_backoff: u64,
+}
+
+impl ChaosReport {
+    fn absorb(&mut self, resp: &Json, schedule_bearing: bool) {
+        match resp.get("ok").and_then(Json::as_bool) {
+            Some(true) => {
+                if schedule_bearing {
+                    self.served += 1;
+                    if resp.get("verified").and_then(Json::as_bool) != Some(true) {
+                        self.invalid += 1;
+                    }
+                }
+            }
+            _ => match resp.get("kind").and_then(Json::as_str) {
+                Some("overloaded") => {
+                    self.shed += 1;
+                    if resp.get("retry_after_ms").and_then(Json::as_u64).is_none() {
+                        self.missing_backoff += 1;
+                    }
+                }
+                Some("panic") => self.restarts_reported += 1,
+                _ => self.errors += 1,
+            },
+        }
+    }
+
+    /// The campaign's hard acceptance gate.
+    pub fn clean(&self) -> bool {
+        self.invalid == 0
+            && self.errors == 0
+            && self.missing_backoff == 0
+            && self.restarts_reported == self.panics_injected
+    }
+}
+
+/// Deadlines the campaign rotates through — the full ladder, including
+/// the ~0 ms floor.
+const DEADLINES_MS: [u64; 6] = [0, 5, 20, 60, 120, 250];
+
+/// Runs one scripted campaign against `daemon` (shard name `"chaos"`).
+pub fn run_campaign(daemon: &Daemon, params: &ChaosParams) -> ChaosReport {
+    let mut report = ChaosReport::default();
+    let shard = "chaos".to_string();
+    let created = daemon.handle(Request::Create {
+        shard: shard.clone(),
+        nodes: params.nodes,
+        seed: params.seed,
+        deployment: "paper".into(),
+        model: "protocol".into(),
+        channels: 1,
+        epsilon: 0.0,
+    });
+    assert_eq!(
+        created.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "chaos shard must create: {created}"
+    );
+
+    // Local replica of the shard's instance, to derive the fault script
+    // the same way the shard derived its topology.
+    let (topo, source) = SyntheticDeployment::paper(params.nodes).sample(params.seed);
+    let quality = LinkQuality::synthetic(&topo, &LinkQualityParams::default(), params.seed);
+    let window = 8u64;
+    let horizon = window * u64::from(params.rounds);
+    let script = FaultScript::generate(
+        &topo,
+        &quality,
+        source,
+        0,
+        horizon,
+        &FaultParams {
+            death_fraction: 0.08,
+            ..FaultParams::default()
+        },
+        params.seed,
+    );
+
+    // Warm the shard with one generous solve.
+    let first = daemon.handle(Request::Solve {
+        shard: shard.clone(),
+        deadline_ms: 250,
+    });
+    report.absorb(&first, true);
+
+    let mut already_dead: Vec<NodeId> = Vec::new();
+    for round in 0..params.rounds {
+        let from = u64::from(round) * window;
+        let until = from + window;
+        let deadline_ms = DEADLINES_MS[round as usize % DEADLINES_MS.len()];
+
+        // Deaths scripted into this window → one churn request.
+        let dead_now: Vec<NodeId> = script
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Fault::NodeDeath { node, at } if *at >= from && *at < until => Some(*node),
+                _ => None,
+            })
+            .filter(|n| !already_dead.contains(n))
+            .collect();
+        if !dead_now.is_empty() {
+            already_dead.extend(dead_now.iter().copied());
+            report.churns += 1;
+            let resp = daemon.handle(Request::Churn {
+                shard: shard.clone(),
+                dead: dead_now,
+                deadline_ms,
+            });
+            report.absorb(&resp, true);
+        }
+
+        // Flaps and bursts in this window → one observe request with a
+        // degraded truth (flapped links near-dead, bursts raising the
+        // uniform loss floor).
+        let mut links = Vec::new();
+        let mut burst_loss = 0.0f64;
+        for e in &script.events {
+            match e {
+                Fault::LinkFlap { u, v, from: f, .. } if *f >= from && *f < until => {
+                    links.push((*u, *v, 0.05));
+                }
+                Fault::Burst {
+                    extra_loss,
+                    from: f,
+                    ..
+                } if *f >= from && *f < until => burst_loss = burst_loss.max(*extra_loss),
+                _ => {}
+            }
+        }
+        if !links.is_empty() || burst_loss > 0.0 {
+            report.observes += 1;
+            let resp = daemon.handle(Request::Observe {
+                shard: shard.clone(),
+                truth: (0.98 - burst_loss).clamp(0.05, 1.0),
+                links,
+                rounds: 20,
+                seed: params.seed ^ u64::from(round),
+                deadline_ms,
+            });
+            report.absorb(&resp, true);
+        }
+
+        // Injected worker panic.
+        if params.panic_every > 0 && round % params.panic_every == params.panic_every - 1 {
+            report.panics_injected += 1;
+            let resp = daemon.handle(Request::ChaosPanic {
+                shard: shard.clone(),
+            });
+            report.absorb(&resp, false);
+        }
+
+        // Request storm: a burst of concurrent tight-deadline solves; the
+        // bounded queue must shed the overflow explicitly, never hang.
+        if params.storm_every > 0 && round % params.storm_every == params.storm_every - 1 {
+            let receivers: Vec<_> = (0..params.storm_size)
+                .map(|_| {
+                    daemon.submit(Request::Solve {
+                        shard: shard.clone(),
+                        deadline_ms: 10,
+                    })
+                })
+                .collect();
+            for rx in receivers {
+                match rx.recv() {
+                    Ok(resp) => report.absorb(&resp, true),
+                    Err(_) => report.errors += 1,
+                }
+            }
+        }
+
+        // Steady-state probe at the rotating deadline.
+        let resp = daemon.handle(Request::Solve {
+            shard: shard.clone(),
+            deadline_ms,
+        });
+        report.absorb(&resp, true);
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::DaemonConfig;
+
+    #[test]
+    fn a_short_campaign_is_clean() {
+        Daemon::install_recorder();
+        let daemon = Daemon::new(DaemonConfig { queue_cap: 4 });
+        let params = ChaosParams {
+            rounds: 6,
+            nodes: 60,
+            storm_size: 12,
+            storm_every: 3,
+            panic_every: 3,
+            seed: 7,
+        };
+        let report = run_campaign(&daemon, &params);
+        assert!(report.clean(), "{report:?}");
+        assert!(report.served > 0);
+        assert!(report.panics_injected == 2);
+        assert!(report.churns + report.observes > 0, "{report:?}");
+        daemon.shutdown();
+    }
+}

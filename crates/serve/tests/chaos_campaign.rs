@@ -1,0 +1,48 @@
+//! The acceptance-gate chaos campaign: a seeded `FaultScript` (deaths,
+//! flaps, bursts) plus injected worker panics and request storms, driven
+//! through the daemon. The gate: zero invalid schedules served, zero
+//! daemon crashes (every injected panic surfaces as a counted shard
+//! restart), every deadline answered with a verified schedule or an
+//! explicit `Overloaded`.
+
+use wsn_serve::{run_campaign, ChaosParams, Daemon, DaemonConfig};
+
+#[test]
+fn full_campaign_serves_only_verified_schedules() {
+    Daemon::install_recorder();
+    let daemon = Daemon::new(DaemonConfig { queue_cap: 6 });
+    let params = ChaosParams::default();
+    let report = run_campaign(&daemon, &params);
+
+    assert_eq!(report.invalid, 0, "invalid schedules served: {report:?}");
+    assert_eq!(report.errors, 0, "non-contract refusals: {report:?}");
+    assert_eq!(report.missing_backoff, 0, "sheds without hints: {report:?}");
+    assert_eq!(
+        report.restarts_reported, report.panics_injected,
+        "panic isolation leaked: {report:?}"
+    );
+    assert!(report.clean());
+    assert!(report.served > 0, "{report:?}");
+    assert!(
+        report.churns + report.observes > 0,
+        "the script injected no faults: {report:?}"
+    );
+
+    // The daemon is still alive and serving after the whole campaign.
+    let (resp, _) = daemon.handle_line(r#"{"op":"query","shard":"chaos"}"#);
+    assert_eq!(
+        resp.get("ok").and_then(wsn_serve::Json::as_bool),
+        Some(true)
+    );
+
+    // Recorder cross-check: restarts were counted, and if anything shed,
+    // the shed counter saw it too.
+    let rec = wsn_obs::global().expect("recorder installed");
+    assert_eq!(
+        rec.counter_value("serve.shard_restarts"),
+        report.panics_injected,
+        "restart counter must match injected panics"
+    );
+    assert_eq!(rec.counter_value("serve.shed"), report.shed);
+    daemon.shutdown();
+}

@@ -52,6 +52,7 @@
 //! | [`sim`] | `wsn-sim` | experiment sweeps, statistics, CSV |
 //! | [`bench`] | `wsn-bench` | figure/table regeneration harness |
 //! | [`obs`] | `wsn-obs` | counters/histograms/spans, Chrome-trace + Prometheus export |
+//! | [`serve`] | `wsn-serve` | fault-tolerant scheduler daemon: shards, deadline ladder, chaos harness |
 //!
 //! ## The broadcast-state substrate
 //!
@@ -163,6 +164,34 @@
 //! `claims --reliability-bench-only` emits `BENCH_reliability.json`
 //! (ε-coverage vs blind retransmission at equal slot budget, repair
 //! wall time vs cold re-solve).
+//!
+//! ## The serving daemon
+//!
+//! [`serve`] turns the library into a long-running scheduler service
+//! (`wsn-serve` binary, stdin-jsonl or length-prefixed TCP framing).
+//! Topologies are resident *shards* — one owner thread each, holding a
+//! warm [`anytime::ScheduleCache`], the current schedule, and a
+//! [`sim::LinkEstimator`] — so solve / churn-reschedule / quality-update
+//! requests skip construction entirely. Every request carries a deadline
+//! budget mapped onto [`anytime::Budget::WallClockMs`], and a
+//! degradation ladder (portfolio → serial anytime → cached warm-start →
+//! greedy legalizer) guarantees *some* verified schedule is always
+//! returned, tagged with the quality tier that produced it — the tag is
+//! monotone in the deadline by construction. Bounded per-shard queues
+//! shed oldest-deadline-first with explicit `overloaded` + retry-after
+//! hints; worker panics are caught, the shard's cache is quarantined and
+//! the shard restarts cold (`serve.shard_restarts`). `observe`
+//! requests close the estimator loop: acks feed the
+//! [`sim::LinkEstimator`], drift past a threshold triggers an
+//! incremental reschedule through the warm cache
+//! ([`sim::replan_on_drift`]), a small fraction of a cold re-solve's
+//! wall time. A seeded chaos harness ([`serve::run_campaign`]) replays a
+//! [`sim::FaultScript`] plus injected panics and request storms,
+//! asserting every served schedule verifies; `claims --serve-bench-only`
+//! emits `BENCH_serve.json` (repair-vs-cold pins, sustained req/s, storm
+//! shed rate, chaos p99 reschedule latency), and the `metrics` verb
+//! scrapes the [`obs`] recorder through the existing Prometheus
+//! exporter.
 
 pub use mlbs_core as core;
 pub use wsn_anytime as anytime;
@@ -176,6 +205,7 @@ pub use wsn_geom as geom;
 pub use wsn_interference as interference;
 pub use wsn_obs as obs;
 pub use wsn_phy as phy;
+pub use wsn_serve as serve;
 pub use wsn_sim as sim;
 pub use wsn_topology as topology;
 
@@ -210,10 +240,12 @@ pub mod prelude {
     pub use wsn_phy::{
         ConflictModel, MultiChannel, PhyModel, PhyModelSpec, ProtocolModel, SinrModel, SinrParams,
     };
+    pub use wsn_serve::{Daemon, DaemonConfig, Request, ShardSpec};
     pub use wsn_sim::{
-        mean_coverage_quality, replay_faulty, replay_lossy, replay_lossy_quality, run_instance,
-        run_instance_exec, run_instance_model, run_instance_with, simulate_acks, Algorithm,
-        AnytimeExec, FaultParams, FaultScript, LinkEstimator, Regime, Summary, Sweep,
+        mean_coverage_quality, replan_on_drift, replay_faulty, replay_lossy, replay_lossy_quality,
+        run_instance, run_instance_exec, run_instance_model, run_instance_with, simulate_acks,
+        Algorithm, AnytimeExec, DriftReplan, FaultParams, FaultScript, LinkEstimator, Regime,
+        Summary, Sweep,
     };
     pub use wsn_topology::{
         deploy::SyntheticDeployment, fixtures, metrics, LinkQuality, LinkQualityParams, NodeId,
